@@ -1,0 +1,38 @@
+// Command artisan-server exposes the Artisan framework over HTTP/JSON —
+// the publicly accessible form promised by the paper's abstract.
+//
+//	artisan-server -addr :8080
+//
+// Endpoints:
+//
+//	GET  /healthz        liveness
+//	GET  /groups         the Table 2 spec groups
+//	GET  /architectures  the knowledge base's architecture cards
+//	POST /design         {"group":"G-1"} or {"prompt":"gain >85dB, …"}
+//	POST /simulate       {"netlist":"V1 in 0 1\n…"}
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"artisan/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      server.New(),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	log.Printf("artisan-server listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Command datasetgen builds the opamp dataset of §3.4 and prints the
+// Table 1 accounting; with -train it also runs the simulated DAPT/SFT
+// pipeline and reports the held-out loss curves.
+//
+// Usage:
+//
+//	datasetgen                      # 1/400-scale build, Table 1
+//	datasetgen -scale 0.01 -train   # larger build + training simulation
+//	datasetgen -samples 3           # show example NetlistTuples and QA
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"artisan/internal/corpus"
+	"artisan/internal/llm"
+)
+
+// dumpJSONL writes the four dataset splits as JSON-lines files.
+func dumpJSONL(dir string, build *corpus.Build) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, rows []any) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		for _, r := range rows {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rows := func(n int, get func(i int) any) []any {
+		out := make([]any, n)
+		for i := range out {
+			out[i] = get(i)
+		}
+		return out
+	}
+	if err := write("corpus.jsonl", rows(len(build.Corpus), func(i int) any { return build.Corpus[i] })); err != nil {
+		return err
+	}
+	if err := write("tuples.jsonl", rows(len(build.Tuples), func(i int) any { return build.Tuples[i] })); err != nil {
+		return err
+	}
+	if err := write("alpaca.jsonl", rows(len(build.Alpaca), func(i int) any { return build.Alpaca[i] })); err != nil {
+		return err
+	}
+	return write("designqa.jsonl", rows(len(build.DesignQA), func(i int) any { return build.DesignQA[i] }))
+}
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1.0/400, "dataset scale relative to the paper (1.0 = full)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		train   = flag.Bool("train", false, "run the DAPT+SFT training simulation")
+		samples = flag.Int("samples", 0, "print this many example samples per split")
+		dump    = flag.String("dump", "", "write the dataset as JSONL files into this directory")
+	)
+	flag.Parse()
+
+	cfg := corpus.DefaultConfig(*seed)
+	cfg.Scale = *scale
+	build, err := corpus.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datasetgen:", err)
+		os.Exit(1)
+	}
+	tab := build.Table1(cfg.Scale)
+	fmt.Print(tab)
+	fmt.Println()
+	fmt.Println("extrapolated to paper scale:")
+	fmt.Print(tab.ScaledToPaper())
+
+	if *samples > 0 {
+		fmt.Println("\n--- example collected-corpus documents ---")
+		for i := 0; i < *samples && i < len(build.Corpus); i++ {
+			fmt.Printf("[%s]\n%s\n\n", build.Corpus[i].Title, build.Corpus[i].Text)
+		}
+		fmt.Println("--- example NetlistTuples ---")
+		for i := 0; i < *samples && i < len(build.Tuples); i++ {
+			fmt.Printf("netlist:\n%s\ndescription:\n%s\n\n",
+				build.Tuples[i].Netlist, build.Tuples[i].Description)
+		}
+		fmt.Println("--- example DesignQA ---")
+		for i := 0; i < *samples && i < len(build.DesignQA); i++ {
+			fmt.Printf("Q: %s\nA: %s\n\n", build.DesignQA[i].Question, build.DesignQA[i].Answer)
+		}
+	}
+
+	if *dump != "" {
+		if err := dumpJSONL(*dump, build); err != nil {
+			fmt.Fprintln(os.Stderr, "datasetgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ndataset written to %s (corpus.jsonl, tuples.jsonl, alpaca.jsonl, designqa.jsonl)\n", *dump)
+	}
+
+	if *train {
+		fmt.Println("\n--- training simulation (DAPT then SFT) ---")
+		model, rep, err := llm.Train(build.Dataset(), llm.DefaultTrainConfig(*seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datasetgen:", err)
+			os.Exit(1)
+		}
+		for _, ph := range []llm.PhaseReport{rep.DAPT, rep.SFT} {
+			fmt.Printf("%s: %d samples, %d tokens, held-out CE curve (nats/token):\n  ",
+				ph.Phase, ph.Samples, ph.Tokens)
+			for _, l := range ph.LossCurve {
+				fmt.Printf("%.3f ", l)
+			}
+			fmt.Printf("\n  improved: %v\n", ph.Improved())
+		}
+		fmt.Printf("vocabulary: %d word pieces\n", rep.Vocab)
+		fmt.Printf("model: %s\n", model.LM())
+	}
+}

@@ -1,0 +1,152 @@
+// Command evaltable regenerates the paper's evaluation artifacts: the
+// Table 3 method comparison and the Fig. 6/Fig. 7 design examples and
+// chat logs.
+//
+// Usage:
+//
+//	evaltable                       # full Table 3 (10 trials, budget 250)
+//	evaltable -trials 3 -budget 80  # quick run
+//	evaltable -fig7                 # chat logs of Artisan/GPT-4/Llama2
+//	evaltable -fig6                 # the example circuits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"artisan/internal/agents"
+	"artisan/internal/core"
+	"artisan/internal/experiment"
+	"artisan/internal/llm"
+	"artisan/internal/opt"
+	"artisan/internal/spec"
+)
+
+func main() {
+	var (
+		trials  = flag.Int("trials", 10, "trials per cell")
+		budget  = flag.Int("budget", 250, "baseline simulation budget")
+		seed    = flag.Int64("seed", 42, "random seed")
+		groups  = flag.String("groups", "", "comma-separated group subset (default all)")
+		methods = flag.String("methods", "", "comma-separated method subset (default all)")
+		fig6    = flag.Bool("fig6", false, "print the Fig. 6 example circuits instead")
+		fig7    = flag.Bool("fig7", false, "print the Fig. 7 chat logs instead")
+	)
+	flag.Parse()
+
+	if *fig7 {
+		printFig7()
+		return
+	}
+	if *fig6 {
+		printFig6(*seed, *budget)
+		return
+	}
+
+	cfg := experiment.DefaultConfig(*seed)
+	cfg.Trials = *trials
+	cfg.Budget = *budget
+	if *groups != "" {
+		cfg.Groups = strings.Split(*groups, ",")
+	}
+	if *methods != "" {
+		cfg.Methods = nil
+		for _, m := range strings.Split(*methods, ",") {
+			cfg.Methods = append(cfg.Methods, experiment.Method(m))
+		}
+	}
+	t3, err := experiment.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaltable:", err)
+		os.Exit(1)
+	}
+	fmt.Print(t3)
+	fmt.Println()
+	gs := cfg.Groups
+	if len(gs) == 0 {
+		gs = []string{"G-1", "G-2", "G-3", "G-4", "G-5"}
+	}
+	for _, g := range gs {
+		bo := t3.Speedup(experiment.MethodBOBO, g)
+		rl := t3.Speedup(experiment.MethodRLBO, g)
+		if bo > 0 || rl > 0 {
+			fmt.Printf("%s: Artisan speedup %.1f× vs BOBO, %.1f× vs RLBO\n", g, bo, rl)
+		}
+	}
+}
+
+// printFig7 reproduces the chat-log comparison of Fig. 7: Artisan's full
+// interpretable session on G-1 (including the CL = 1 nF follow-up) next
+// to the single-step answers of GPT-4 and Llama2.
+func printFig7() {
+	g1, _ := spec.Group("G-1")
+	g5, _ := spec.Group("G-5")
+
+	a := core.NewWithModel(llm.NewDomainModel(1, 0))
+	out, err := a.Design(g1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaltable:", err)
+		os.Exit(1)
+	}
+	fmt.Println("############ A chat log example of Artisan (G-1) ############")
+	fmt.Println(out.Transcript.Chat())
+
+	out5, err := a.Design(g5)
+	if err == nil {
+		fmt.Println("######## Artisan follow-up: the CL = 1 nF modification ########")
+		fmt.Println(out5.Transcript.Chat())
+	}
+
+	for _, m := range []llm.Model{llm.NewGPT4Model(), llm.NewLlama2Model()} {
+		fmt.Printf("############ A chat log example of %s ############\n", m.Name())
+		for _, q := range []string{
+			"I want to design a behavioral level three-stage opamp meeting the following specs. Please recommend an architecture.",
+			"The NMC design flow includes zero-pole analysis. Please analyze the zero-pole distributions.",
+			"When CL=1nF, the NMC opamp suffers. How to modify the design?",
+		} {
+			fmt.Println("Q:", q)
+			ans, err := m.Generate(q)
+			if err != nil {
+				ans = "(" + err.Error() + ")"
+			}
+			fmt.Println("A:", ans)
+		}
+		fmt.Println()
+	}
+}
+
+// printFig6 reproduces the design-example comparison of Fig. 6: the
+// best circuits BOBO and RLBO find, and Artisan's behavioral plus
+// transistor-level result.
+func printFig6(seed int64, budget int) {
+	g1, _ := spec.Group("G-1")
+
+	fmt.Println("=== Fig. 6(a): BOBO's best circuit on G-1 ===")
+	if r, err := opt.BOBO(g1, budget, seed); err == nil && r.Best != nil {
+		fmt.Println(r.Best.Summary())
+		fmt.Printf("  %s (success=%v)\n\n", experiment.FormatReport(g1, r.Report), r.Success)
+	}
+	fmt.Println("=== Fig. 6(b): RLBO's best circuit on G-1 ===")
+	if r, err := opt.RLBO(g1, budget, seed); err == nil && r.Best != nil {
+		fmt.Println(r.Best.Summary())
+		fmt.Printf("  %s (success=%v)\n\n", experiment.FormatReport(g1, r.Report), r.Success)
+	}
+
+	a := core.NewWithModel(llm.NewDomainModel(seed, 0))
+	a.Opts = agents.DefaultOptions()
+	out, err := a.Design(g1)
+	if err != nil || !out.Success {
+		fmt.Fprintln(os.Stderr, "evaltable: Artisan example failed")
+		os.Exit(1)
+	}
+	fmt.Println("=== Fig. 6(c): Artisan's behavioral-level circuit on G-1 ===")
+	fmt.Println(out.Topology.Summary())
+	fmt.Print(out.Netlist)
+	fmt.Printf("  %s\n\n", experiment.FormatReport(g1, out.Report))
+	if out.Transistor != nil {
+		fmt.Println("=== Fig. 6(d): Artisan's transistor-level schematic (gm/Id) ===")
+		fmt.Print(out.Transistor)
+	}
+}

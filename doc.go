@@ -1,0 +1,11 @@
+// Package artisan is a from-scratch Go reproduction of "Artisan: Automated
+// Operational Amplifier Design via Domain-specific Large Language Model"
+// (Chen et al., DAC 2024).
+//
+// The public surface lives under internal/ packages wired together by
+// internal/core (the framework), with command-line tools under cmd/ and
+// runnable examples under examples/. The root package holds the
+// repository-level benchmark harness (bench_test.go) that regenerates
+// every table and figure of the paper's evaluation; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package artisan

@@ -1,0 +1,79 @@
+// Largeload reproduces the paper's flagship interpretability story
+// (§4.3, Fig. 7 Q9→A9): an NMC design that is perfectly adequate at
+// CL = 10 pF collapses when asked to drive 1 nF, and the framework's
+// second Tree-of-Thoughts decision point diagnoses the failure and
+// rebuilds the circuit as DFCFC — a damping-factor-control block replaces
+// the inner Miller capacitor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"artisan/internal/agents"
+	"artisan/internal/design"
+	"artisan/internal/llm"
+	"artisan/internal/measure"
+	"artisan/internal/spec"
+	"artisan/internal/topology"
+)
+
+func main() {
+	g1, _ := spec.Group("G-1")
+	g5, _ := spec.Group("G-5") // same thresholds, CL = 1 nF
+
+	// Step 1: a by-the-book NMC design for the 10 pF spec.
+	nmc, err := design.Design("NMC", g1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := agents.NewSimulator()
+	rep10, err := sim.MeasureTopology(nmc.Topo, g1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("NMC at CL = 10 pF:", rep10)
+	fmt.Println("  verdict:", spec.Describe(g1.Check(rep10)))
+
+	// Step 2: the same circuit against the 1 nF load.
+	rep1n, err := sim.MeasureTopology(nmc.Topo, g5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsame NMC at CL = 1 nF:", rep1n)
+	fmt.Println("  verdict:", spec.Describe(g5.Check(rep1n)))
+	fmt.Println("  (the output pole gm3/(2π·CL) collapsed by 100×)")
+
+	// Step 3: what would brute force cost? Scale gm3 back up.
+	brute := nmc.Topo.Clone()
+	brute.Stages[2].Gm *= 100 // gm3 ∝ CL in plain NMC
+	if repB, err := sim.MeasureTopology(brute, g5); err == nil {
+		fmt.Printf("\nbrute-force NMC (gm3 ×100): %v\n", repB)
+		fmt.Println("  verdict:", spec.Describe(g5.Check(repB)))
+	}
+
+	// Step 4: let the full multi-agent session handle it — the failure
+	// description routes to the DFC modification card.
+	model := llm.NewDomainModel(1, 0)
+	out, err := agents.NewSession(model, g5, agents.DefaultOptions()).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !out.Success {
+		log.Fatalf("session failed: %s", out.FailReason)
+	}
+	fmt.Printf("\nArtisan's answer for 1 nF: %s\n", out.Arch)
+	fmt.Println("  measured:", out.Report)
+	fmt.Printf("  FoM: %.0f MHz·pF/mW at %sW — versus the paper's 12769.5 at 147.8 µW\n",
+		g5.FoMOf(out.Report), fmtW(out.Report))
+
+	// Step 5: show the DFC block in the netlist.
+	fmt.Println("\nfinal topology:", out.Topology.Summary())
+	dfc := out.Topology.ConnAt(topology.Position{From: "n1", To: "0"})
+	if dfc != nil {
+		fmt.Printf("  DFC block: gm4 = %.4g S with Cm3 = %.3g F shunting the first-stage output\n",
+			dfc.Gm, dfc.C)
+	}
+}
+
+func fmtW(r measure.Report) string { return fmt.Sprintf("%.1fµ", r.Power*1e6) }

@@ -1,0 +1,52 @@
+// Quickstart: design a three-stage opamp for the paper's baseline spec
+// group G-1 with five lines of API, then inspect every artifact the
+// framework produces — the metrics, the interpretable chat log, the
+// behavioral netlist, and the transistor-level mapping.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"artisan/internal/core"
+	"artisan/internal/llm"
+	"artisan/internal/spec"
+)
+
+func main() {
+	// 1. Pick a spec (Table 2's G-1) and build an Artisan instance.
+	// core.New(seed) runs the LLM at its stochastic operating
+	// temperature; the deterministic expert below keeps this demo
+	// byte-reproducible.
+	g1, err := spec.Group("G-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	artisan := core.NewWithModel(llm.NewDomainModel(1, 0))
+
+	// 2. Design.
+	out, err := artisan.Design(g1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !out.Success {
+		log.Fatalf("design failed: %s", out.FailReason)
+	}
+
+	// 3. Inspect the result.
+	fmt.Printf("architecture : %s\n", out.Arch)
+	fmt.Printf("measured     : %v\n", out.Report)
+	fmt.Printf("FoM          : %.1f MHz·pF/mW\n", g1.FoMOf(out.Report))
+	fmt.Printf("session      : %d QA steps, %d simulations\n\n", out.QACount, out.SimCount)
+
+	fmt.Println("behavioral netlist:")
+	fmt.Print(out.Netlist)
+
+	if out.Transistor != nil {
+		fmt.Println("\ntransistor-level netlist (gm/Id mapping):")
+		fmt.Print(out.Transistor)
+	}
+
+	fmt.Println("\ninterpretable design log:")
+	fmt.Print(out.Transcript.Chat())
+}

@@ -1,0 +1,3 @@
+module artisan
+
+go 1.22

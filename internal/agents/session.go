@@ -1,0 +1,237 @@
+package agents
+
+import (
+	"fmt"
+
+	"artisan/internal/design"
+	"artisan/internal/llm"
+	"artisan/internal/measure"
+	"artisan/internal/netlist"
+	"artisan/internal/spec"
+	"artisan/internal/topology"
+)
+
+// Options configures a design session.
+type Options struct {
+	// TreeWidth is the number of architecture candidates the ToT decision
+	// expands and verifies; 1 reproduces the paper's single-shot flow,
+	// larger widths are the verification-selected ToT ablation.
+	TreeWidth int
+	// MaxModifications bounds the second ToT decision point (redesign
+	// after failed verification).
+	MaxModifications int
+	// Tune enables the BO parameter-tuning tool as a last resort.
+	Tune bool
+}
+
+// DefaultOptions reproduces the paper's flow: one architecture, one
+// modification round, no tuning.
+func DefaultOptions() Options {
+	return Options{TreeWidth: 1, MaxModifications: 1, Tune: false}
+}
+
+// Outcome is the result of a session.
+type Outcome struct {
+	Success    bool
+	Arch       string
+	Design     *design.Result
+	Report     measure.Report
+	Netlist    *netlist.Netlist
+	Topology   *topology.Topology
+	Transcript *Transcript
+	SimCount   int
+	QACount    int
+	FailReason string
+}
+
+// FoM returns the achieved figure of merit under the session spec.
+func (o *Outcome) FoM(sp spec.Spec) float64 { return sp.FoMOf(o.Report) }
+
+// Session drives one complete opamp design: the hierarchical process of
+// Fig. 4 executed as the multi-agent QA loop of Fig. 5.
+type Session struct {
+	Designer llm.DesignerModel
+	Prompter *Prompter
+	Spec     spec.Spec
+	Opts     Options
+	Sim      *Simulator
+	Tuner    *Tuner
+}
+
+// NewSession builds a session for a designer model and spec. The default
+// prompter asks the canonical questions; set Prompter for generative
+// rephrasing.
+func NewSession(m llm.DesignerModel, sp spec.Spec, opts Options) *Session {
+	sim := NewSimulator()
+	return &Session{Designer: m, Prompter: NewPrompter(1, 0), Spec: sp, Opts: opts,
+		Sim: sim, Tuner: NewTuner(sim, 1)}
+}
+
+// Run executes the session. The returned outcome always carries the
+// transcript, even on failure (the failed GPT-4/Llama2 logs of Fig. 7 are
+// exactly such transcripts).
+func (s *Session) Run() (*Outcome, error) {
+	tr := &Transcript{Model: s.Designer.Name()}
+	out := &Outcome{Transcript: tr}
+	fail := func(reason string) (*Outcome, error) {
+		out.FailReason = reason
+		out.SimCount = s.Sim.Invocations
+		out.QACount = tr.QACount()
+		tr.Add(RoleVerdict, "session failed: "+reason)
+		return out, nil
+	}
+
+	// --- ToT decision point 1: architecture selection ---
+	width := s.Opts.TreeWidth
+	if width < 1 {
+		width = 1
+	}
+	choices, err := s.Designer.ProposeArchitectures(s.Spec, width)
+	if err != nil {
+		tr.QA(s.Spec.Prompt(), "(no viable architecture proposed) "+err.Error())
+		return fail("architecture selection failed: " + err.Error())
+	}
+	for _, c := range choices {
+		tr.Add(RoleDecision, fmt.Sprintf("candidate %s (score %.2f): %s", c.Arch, c.Score, c.Rationale))
+	}
+
+	type attempt struct {
+		res    *design.Result
+		rep    measure.Report
+		nl     *netlist.Netlist
+		ok     bool
+		arch   string
+		reason string
+	}
+	runFlow := func(arch string) (*attempt, error) {
+		knobs, err := s.Designer.ProposeKnobs(arch, s.Spec)
+		if err != nil {
+			return &attempt{arch: arch, reason: err.Error()}, nil
+		}
+		res, err := design.Design(arch, s.Spec, knobs)
+		if err != nil {
+			return &attempt{arch: arch, reason: err.Error()}, nil
+		}
+		// Weave the CoT steps into the session transcript; the prompter
+		// phrases each scheduled question (Eq. 4).
+		for _, st := range res.Steps {
+			tr.QA(s.Prompter.Next(st.Question), st.Answer)
+			for j, f := range st.Formulas {
+				tr.ToolCall("calculator", f, st.Results[j])
+			}
+		}
+		env := topology.DefaultEnv()
+		env.CL, env.RL = s.Spec.CL, s.Spec.RL
+		nl, err := res.Topo.Elaborate(env)
+		if err != nil {
+			return &attempt{arch: arch, res: res, reason: err.Error()}, nil
+		}
+		rep, err := s.Sim.MeasureNetlist(nl)
+		if err != nil {
+			return &attempt{arch: arch, res: res, nl: nl, reason: err.Error()}, nil
+		}
+		tr.ToolCall("simulator", arch+" behavioral netlist", rep.String())
+		a := &attempt{res: res, rep: rep, nl: nl, arch: arch, ok: s.Spec.Satisfied(rep)}
+		if !a.ok {
+			a.reason = spec.Describe(s.Spec.Check(rep))
+		}
+		tr.Add(RoleVerdict, spec.Describe(s.Spec.Check(rep)))
+		return a, nil
+	}
+
+	// Expand the tree: verify each candidate, keep the best.
+	var best *attempt
+	for _, c := range choices {
+		a, err := runFlow(c.Arch)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || (a.ok && !best.ok) ||
+			(a.ok == best.ok && a.rep.GBW > 0 && Score(s.Spec, a.rep) > Score(s.Spec, best.rep)) {
+			best = a
+		}
+		if a.ok && width == 1 {
+			break
+		}
+	}
+	if best == nil || best.res == nil {
+		reason := "design flow could not be executed"
+		if best != nil && best.reason != "" {
+			reason = best.reason
+		}
+		tr.QA("Please carry out the design flow step by step.",
+			"(the model cannot execute the methodological multi-step flow) "+reason)
+		return fail(reason)
+	}
+
+	// --- ToT decision point 2: modification after failed verification ---
+	for iter := 0; iter < s.Opts.MaxModifications && !best.ok; iter++ {
+		failure := describeFailure(s.Spec, best.rep)
+		mod, err := s.Designer.ProposeModification(s.Spec, failure)
+		if err != nil {
+			tr.QA("The design fails verification: "+failure+" How to modify the architecture?",
+				"(no modification strategy) "+err.Error())
+			break
+		}
+		tr.QA(s.Prompter.Next("The design fails verification: "+failure+" How to modify the architecture?"), mod.Rationale)
+		if mod.NewArch == "" {
+			break
+		}
+		if !knownArch(mod.NewArch) {
+			tr.Add(RoleVerdict, fmt.Sprintf("suggested architecture %s has no executable design procedure", mod.NewArch))
+			break
+		}
+		a, err := runFlow(mod.NewArch)
+		if err != nil {
+			return nil, err
+		}
+		if a.res != nil && (a.ok || Score(s.Spec, a.rep) > Score(s.Spec, best.rep)) {
+			best = a
+		}
+	}
+
+	// --- Last resort: the BO parameter-tuning tool ---
+	if !best.ok && s.Opts.Tune && best.res != nil {
+		tr.Add(RoleTool, "[tuner] invoking Bayesian-optimization parameter tuning")
+		tuned, rep, score, err := s.Tuner.Tune(best.res.Topo, s.Spec)
+		if err == nil {
+			tr.ToolCall("tuner", "tune "+best.arch, rep.String())
+			if s.Spec.Satisfied(rep) || score > Score(s.Spec, best.rep) {
+				best.res.Topo = tuned
+				best.rep = rep
+				best.ok = s.Spec.Satisfied(rep)
+				env := topology.DefaultEnv()
+				env.CL, env.RL = s.Spec.CL, s.Spec.RL
+				if nl, err := tuned.Elaborate(env); err == nil {
+					best.nl = nl
+				}
+			}
+		}
+	}
+
+	out.Success = best.ok
+	out.Arch = best.arch
+	out.Design = best.res
+	out.Report = best.rep
+	out.Netlist = best.nl
+	out.Topology = best.res.Topo
+	out.SimCount = s.Sim.Invocations
+	out.QACount = tr.QACount()
+	if !best.ok {
+		out.FailReason = best.reason
+		tr.Add(RoleVerdict, "session failed: "+best.reason)
+	} else {
+		tr.QA("Design completed. Please give the final netlist.",
+			"The final netlist with parameters instantiated is as follows...\n"+best.nl.String())
+	}
+	return out, nil
+}
+
+func knownArch(name string) bool {
+	for _, a := range design.Architectures() {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}

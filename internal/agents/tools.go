@@ -1,0 +1,248 @@
+// Package agents implements the multi-agent question-answer framework of
+// §3.3 (Fig. 5): an Artisan-Prompter that schedules design questions, a
+// designer agent wrapping an LLM (the Artisan-LLM or an off-the-shelf
+// baseline), and the third-party tools the LLM invokes by prompt
+// instruction — the calculator, the circuit simulator, and the
+// parameter-tuning tool. A Session runs the hierarchical flow: the
+// Tree-of-Thoughts architecture decision, the Chain-of-Thoughts design
+// flow, simulation-based verification, and the ToT modification decision.
+package agents
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"artisan/internal/calc"
+	"artisan/internal/measure"
+	"artisan/internal/netlist"
+	"artisan/internal/sizing"
+	"artisan/internal/spec"
+	"artisan/internal/topology"
+)
+
+// Tool is an auxiliary capability an agent can invoke by instruction.
+type Tool interface {
+	Name() string
+	Describe() string
+	Invoke(input string) (string, error)
+}
+
+// Calculator wraps a calc session as a tool (the Fig. 7 Q3→A3 helper).
+type Calculator struct {
+	sess *calc.Session
+}
+
+// NewCalculator returns a fresh calculator tool.
+func NewCalculator() *Calculator { return &Calculator{sess: calc.NewSession()} }
+
+// Name implements Tool.
+func (c *Calculator) Name() string { return "calculator" }
+
+// Describe implements Tool.
+func (c *Calculator) Describe() string {
+	return "evaluates engineering expressions and assignments, e.g. gm3 = 8*pi*GBW*CL"
+}
+
+// Invoke evaluates one expression line.
+func (c *Calculator) Invoke(input string) (string, error) { return c.sess.Run(input) }
+
+// Env exposes the underlying environment for preloading spec values.
+func (c *Calculator) Env() *calc.Env { return c.sess.Env() }
+
+// Simulator wraps the MNA engine as a tool; it parses a netlist, runs the
+// metric extraction and renders the report. It also counts invocations,
+// which drives the evaluation's modeled wall-clock time.
+type Simulator struct {
+	Invocations int
+}
+
+// NewSimulator returns a fresh simulator tool.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Name implements Tool.
+func (s *Simulator) Name() string { return "simulator" }
+
+// Describe implements Tool.
+func (s *Simulator) Describe() string {
+	return "AC-simulates a behavioral netlist (output node 'out') and reports Gain/GBW/PM/Power"
+}
+
+// Invoke parses netlist text and measures it.
+func (s *Simulator) Invoke(input string) (string, error) {
+	nl, err := netlist.Parse(input)
+	if err != nil {
+		return "", fmt.Errorf("agents: simulator: %w", err)
+	}
+	rep, err := s.MeasureNetlist(nl)
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}
+
+// MeasureNetlist measures a parsed netlist at node "out".
+func (s *Simulator) MeasureNetlist(nl *netlist.Netlist) (measure.Report, error) {
+	s.Invocations++
+	return measure.Analyze(nl, "out")
+}
+
+// MeasureTopology elaborates a topology under the spec's load and
+// measures it.
+func (s *Simulator) MeasureTopology(topo *topology.Topology, sp spec.Spec) (measure.Report, error) {
+	env := topology.DefaultEnv()
+	env.CL, env.RL = sp.CL, sp.RL
+	nl, err := topo.Elaborate(env)
+	if err != nil {
+		return measure.Report{}, err
+	}
+	return s.MeasureNetlist(nl)
+}
+
+// Tuner wraps the Bayesian-optimization sizing tool [14]: it tunes the
+// continuous parameters (stage and connection gm/R/C values) of a fixed
+// topology to maximize the spec-constrained figure of merit.
+type Tuner struct {
+	Sim    *Simulator
+	Budget sizing.Options
+}
+
+// NewTuner returns the tuning tool sharing the session simulator (so its
+// evaluations are counted).
+func NewTuner(sim *Simulator, seed int64) *Tuner {
+	return &Tuner{Sim: sim, Budget: sizing.DefaultOptions(seed)}
+}
+
+// Name implements Tool.
+func (t *Tuner) Name() string { return "tuner" }
+
+// Describe implements Tool.
+func (t *Tuner) Describe() string {
+	return "Bayesian-optimization parameter tuning of a fixed topology against the spec"
+}
+
+// Invoke is informational; real invocations go through Tune.
+func (t *Tuner) Invoke(input string) (string, error) {
+	return "", fmt.Errorf("agents: tuner requires a structured topology; use Tune")
+}
+
+// Score is the constrained objective: the FoM when every spec is met,
+// otherwise the negative sum of relative violations (so the optimizer
+// first drives violations to zero, then maximizes FoM).
+func Score(sp spec.Spec, rep measure.Report) float64 {
+	vs := sp.Check(rep)
+	if len(vs) == 0 {
+		return sp.FoMOf(rep)
+	}
+	pen := 0.0
+	for _, v := range vs {
+		switch v.Metric {
+		case "Power(W)":
+			pen += (v.Got - v.Limit) / v.Limit
+		case "Stability":
+			pen += 10
+		default:
+			if v.Got <= 0 {
+				pen += 10
+			} else {
+				pen += (v.Limit - v.Got) / v.Limit
+			}
+		}
+	}
+	return -pen
+}
+
+// Tune optimizes the topology's continuous parameters in log space within
+// ±4× of their current values. It returns the best topology found, its
+// report, and the achieved score.
+func (t *Tuner) Tune(topo *topology.Topology, sp spec.Spec) (*topology.Topology, measure.Report, float64, error) {
+	type slot struct {
+		set func(tp *topology.Topology, v float64)
+		cur float64
+	}
+	var slots []slot
+	for i := range topo.Stages {
+		i := i
+		slots = append(slots, slot{func(tp *topology.Topology, v float64) { tp.Stages[i].Gm = v }, topo.Stages[i].Gm})
+	}
+	for i := range topo.Conns {
+		i := i
+		c := topo.Conns[i]
+		if c.Type.HasGm() {
+			slots = append(slots, slot{func(tp *topology.Topology, v float64) { tp.Conns[i].Gm = v }, c.Gm})
+		}
+		if c.Type.HasC() {
+			slots = append(slots, slot{func(tp *topology.Topology, v float64) { tp.Conns[i].C = v }, c.C})
+		}
+		if c.Type.HasR() {
+			slots = append(slots, slot{func(tp *topology.Topology, v float64) { tp.Conns[i].R = v }, c.R})
+		}
+	}
+	if len(slots) == 0 {
+		return nil, measure.Report{}, 0, fmt.Errorf("agents: nothing to tune")
+	}
+	d := len(slots)
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i, s := range slots {
+		l := math.Log(s.cur)
+		lo[i] = l - math.Log(4)
+		hi[i] = l + math.Log(4)
+	}
+	build := func(x []float64) *topology.Topology {
+		tp := topo.Clone()
+		for i, s := range slots {
+			s.set(tp, math.Exp(x[i]))
+		}
+		return tp
+	}
+	prob := sizing.Problem{Lo: lo, Hi: hi, Eval: func(x []float64) float64 {
+		rep, err := t.Sim.MeasureTopology(build(x), sp)
+		if err != nil {
+			return -100
+		}
+		return Score(sp, rep)
+	}}
+	res, err := sizing.Optimize(prob, t.Budget)
+	if err != nil {
+		return nil, measure.Report{}, 0, err
+	}
+	best := build(res.BestX)
+	rep, err := t.Sim.MeasureTopology(best, sp)
+	if err != nil {
+		return nil, measure.Report{}, 0, err
+	}
+	return best, rep, res.BestY, nil
+}
+
+// describeFailure renders spec violations as the natural-language failure
+// report the prompter feeds back to the LLM (the Fig. 7 Q9 phrasing).
+func describeFailure(sp spec.Spec, rep measure.Report) string {
+	vs := sp.Check(rep)
+	var parts []string
+	for _, v := range vs {
+		switch v.Metric {
+		case "GBW(Hz)":
+			parts = append(parts, "the bandwidth is too slow, GBW misses the spec")
+		case "Gain(dB)":
+			parts = append(parts, "the DC gain is insufficient, too low")
+		case "PM(deg)":
+			parts = append(parts, "the phase margin is inadequate, the loop is underdamped")
+		case "Power(W)":
+			parts = append(parts, "the power budget is exceeded, too much current")
+		case "Stability":
+			parts = append(parts, "the amplifier is unstable")
+		}
+	}
+	if sp.CL >= 100e-12 {
+		parts = append(parts, fmt.Sprintf("the design suffers driving the large capacitive load CL=%s", fmtCL(sp.CL)))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func fmtCL(cl float64) string {
+	if cl >= 1e-9 {
+		return fmt.Sprintf("%gnF", cl*1e9)
+	}
+	return fmt.Sprintf("%gpF", cl*1e12)
+}

@@ -1,0 +1,38 @@
+package calc
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEval: arbitrary input must either error or produce a value without
+// panicking; accepted expressions re-evaluate identically (purity).
+func FuzzEval(f *testing.F) {
+	f.Add("1+2*3")
+	f.Add("gm3 = 8*pi*GBW*CL")
+	f.Add("sqrt(abs(-4)) ^ 2")
+	f.Add("1k || 2k || 3k")
+	f.Add("par(1,2,3)")
+	f.Add("((((")
+	f.Add("-1e308*10")
+	f.Add("x = y = z")
+	f.Fuzz(func(t *testing.T, src string) {
+		env := NewEnv()
+		env.Set("GBW", 1e6)
+		env.Set("CL", 1e-11)
+		v1, err1 := Eval(src, env)
+		if err1 != nil {
+			return
+		}
+		env2 := NewEnv()
+		env2.Set("GBW", 1e6)
+		env2.Set("CL", 1e-11)
+		v2, err2 := Eval(src, env2)
+		if err2 != nil {
+			t.Fatalf("accepted expression failed on re-eval: %v", err2)
+		}
+		if v1 != v2 && !(math.IsNaN(v1) && math.IsNaN(v2)) {
+			t.Fatalf("impure evaluation: %g vs %g for %q", v1, v2, src)
+		}
+	})
+}

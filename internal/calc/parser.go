@@ -1,0 +1,209 @@
+package calc
+
+import (
+	"fmt"
+
+	"artisan/internal/units"
+)
+
+// Node is an AST node of a parsed expression.
+type Node interface {
+	eval(env *Env) (float64, error)
+	String() string
+}
+
+type numNode struct{ v float64 }
+
+type varNode struct{ name string }
+
+type unaryNode struct {
+	op    tokenKind
+	child Node
+}
+
+type binNode struct {
+	op          tokenKind
+	left, right Node
+}
+
+type callNode struct {
+	name string
+	args []Node
+}
+
+type assignNode struct {
+	name string
+	expr Node
+}
+
+func (n numNode) String() string { return units.Format(n.v) }
+func (n varNode) String() string { return n.name }
+func (n unaryNode) String() string {
+	return fmt.Sprintf("(-%s)", n.child)
+}
+func (n binNode) String() string {
+	op := map[tokenKind]string{
+		tokPlus: "+", tokMinus: "-", tokStar: "*", tokSlash: "/",
+		tokCaret: "^", tokParallel: "||",
+	}[n.op]
+	return fmt.Sprintf("(%s %s %s)", n.left, op, n.right)
+}
+func (n callNode) String() string {
+	s := n.name + "("
+	for i, a := range n.args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+func (n assignNode) String() string { return fmt.Sprintf("%s = %s", n.name, n.expr) }
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("calc: expected %v, got %v at position %d in %q", k, t.kind, t.pos, p.src)
+	}
+	return t, nil
+}
+
+// binding powers for the Pratt parser.
+func infixBP(k tokenKind) (int, bool) {
+	switch k {
+	case tokPlus, tokMinus:
+		return 10, true
+	case tokStar, tokSlash:
+		return 20, true
+	case tokParallel:
+		return 25, true
+	case tokCaret:
+		return 30, true
+	}
+	return 0, false
+}
+
+// Parse parses a single expression or assignment ("x = expr").
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+
+	// Assignment form: IDENT '=' expr
+	if p.toks[0].kind == tokIdent && len(p.toks) > 1 && p.toks[1].kind == tokAssign {
+		name := p.next().text
+		p.next() // '='
+		expr, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEOF); err != nil {
+			return nil, err
+		}
+		return assignNode{name, expr}, nil
+	}
+
+	n, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (p *parser) parseExpr(minBP int) (Node, error) {
+	lhs, err := p.parsePrefix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek().kind
+		bp, ok := infixBP(op)
+		if !ok || bp < minBP {
+			return lhs, nil
+		}
+		p.next()
+		// '^' is right-associative; others left-associative.
+		nextBP := bp + 1
+		if op == tokCaret {
+			nextBP = bp
+		}
+		rhs, err := p.parseExpr(nextBP)
+		if err != nil {
+			return nil, err
+		}
+		lhs = binNode{op, lhs, rhs}
+	}
+}
+
+func (p *parser) parsePrefix() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		v, err := units.Parse(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("calc: %w", err)
+		}
+		return numNode{v}, nil
+	case tokIdent:
+		if p.peek().kind == tokLParen {
+			p.next()
+			var args []Node
+			if p.peek().kind != tokRParen {
+				for {
+					a, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().kind != tokComma {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return callNode{t.text, args}, nil
+		}
+		return varNode{t.text}, nil
+	case tokMinus:
+		child, err := p.parsePrefix()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{tokMinus, child}, nil
+	case tokPlus:
+		return p.parsePrefix()
+	case tokLParen:
+		n, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	return nil, fmt.Errorf("calc: unexpected %v at position %d in %q", t.kind, t.pos, p.src)
+}

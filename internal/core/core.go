@@ -1,0 +1,165 @@
+// Package core is the Artisan framework itself — the paper's primary
+// contribution. It wires the pieces into the Fig. 2 workflow: given
+// user-defined specs, the multi-agent session recommends an architecture
+// (ToT), runs the methodological design flow (CoT with calculator and
+// simulator tools), verifies against the specs, applies topological
+// modifications on failure, optionally invokes the parameter-tuning tool,
+// and finally maps the behavioral design to the transistor level with the
+// gm/Id scripts.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"artisan/internal/agents"
+	"artisan/internal/corpus"
+	"artisan/internal/gmid"
+	"artisan/internal/llm"
+	"artisan/internal/spec"
+	"artisan/internal/units"
+)
+
+// Artisan is a configured instance of the framework.
+type Artisan struct {
+	Model llm.DesignerModel
+	Opts  agents.Options
+	Tech  gmid.Tech
+	Plan  gmid.StagePlan
+}
+
+// New returns an Artisan driven by the knowledge-engine Artisan-LLM at
+// the standard operating temperature.
+func New(seed int64) *Artisan {
+	return NewWithModel(llm.NewDomainModel(seed, 0.22))
+}
+
+// NewWithModel returns an Artisan driven by any designer model (used to
+// run the GPT-4/Llama2 baselines through the identical workflow).
+func NewWithModel(m llm.DesignerModel) *Artisan {
+	return &Artisan{
+		Model: m,
+		Opts:  agents.DefaultOptions(),
+		Tech:  gmid.Default180nm(),
+		Plan:  gmid.DefaultStagePlan(),
+	}
+}
+
+// Output is the complete design result: the behavioral outcome of the
+// multi-agent session plus the transistor-level mapping.
+type Output struct {
+	*agents.Outcome
+	Spec       spec.Spec
+	Transistor *gmid.Netlist
+}
+
+// Design runs the full workflow for a spec.
+func (a *Artisan) Design(sp spec.Spec) (*Output, error) {
+	session := agents.NewSession(a.Model, sp, a.Opts)
+	out, err := session.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	res := &Output{Outcome: out, Spec: sp}
+	if out.Success && out.Topology != nil {
+		tn, err := gmid.Map(a.Tech, a.Plan, out.Topology, sp.VDD)
+		if err != nil {
+			// The behavioral design stands even if a corner-case mapping
+			// fails; record it in the transcript instead of failing.
+			out.Transcript.Add(agents.RoleVerdict, "gm/Id mapping failed: "+err.Error())
+		} else {
+			res.Transistor = tn
+			out.Transcript.Add(agents.RoleTool,
+				fmt.Sprintf("[gm/Id] mapped to %d transistors, %s total bias",
+					len(tn.Devices), units.Format(tn.ITotal)))
+		}
+	}
+	return res, nil
+}
+
+// DesignPrompt parses a natural-language spec request (the Q0 format of
+// Fig. 7) and runs the workflow.
+func (a *Artisan) DesignPrompt(prompt string) (*Output, error) {
+	sp, err := ParsePrompt(prompt)
+	if err != nil {
+		return nil, err
+	}
+	return a.Design(sp)
+}
+
+// ParsePrompt extracts a Spec from a natural-language request like
+// "design an opamp with gain >85dB, PM >55°, GBW >0.7MHz, Power <250uW
+// and CL = 10pF". Unstated fields take the paper's defaults (RL = 1 MΩ,
+// VDD = 1.8 V).
+func ParsePrompt(prompt string) (spec.Spec, error) {
+	sp := spec.Spec{Name: "custom", RL: 1e6, VDD: 1.8}
+	low := strings.ToLower(prompt)
+	var err error
+	if sp.MinGainDB, err = numberNear(low, []string{"gain"}); err != nil {
+		return sp, fmt.Errorf("core: %w", err)
+	}
+	if sp.MinGBW, err = numberNear(low, []string{"gbw", "bandwidth"}); err != nil {
+		return sp, fmt.Errorf("core: %w", err)
+	}
+	if sp.MinPM, err = numberNear(low, []string{"pm", "phase margin"}); err != nil {
+		return sp, fmt.Errorf("core: %w", err)
+	}
+	if sp.MaxPower, err = numberNear(low, []string{"power"}); err != nil {
+		return sp, fmt.Errorf("core: %w", err)
+	}
+	if sp.CL, err = numberNear(low, []string{"cl", "load"}); err != nil {
+		return sp, fmt.Errorf("core: %w", err)
+	}
+	if sp.MinGainDB < 20 || sp.MinGainDB > 200 {
+		return sp, fmt.Errorf("core: implausible gain spec %g dB", sp.MinGainDB)
+	}
+	if sp.CL <= 0 || sp.CL > 1e-6 {
+		return sp, fmt.Errorf("core: implausible load %g F", sp.CL)
+	}
+	return sp, nil
+}
+
+// numberNear finds the first engineering value following any of the
+// keywords (skipping relational symbols and filler).
+func numberNear(low string, keys []string) (float64, error) {
+	for _, key := range keys {
+		i := strings.Index(low, key)
+		if i < 0 {
+			continue
+		}
+		rest := low[i+len(key):]
+		fields := strings.FieldsFunc(rest, func(r rune) bool {
+			return r == ' ' || r == '>' || r == '<' || r == '=' || r == ',' || r == ':'
+		})
+		for j, f := range fields {
+			if j > 3 {
+				break // value should be adjacent to the keyword
+			}
+			f = strings.Trim(f, ".;)")
+			if v, err := units.Parse(f); err == nil {
+				return v, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("no value found for %v in prompt", keys)
+}
+
+// TrainPipeline builds the dataset at the given scale and trains the
+// knowledge-engine Artisan-LLM — the §3.4 pipeline end to end. It returns
+// an Artisan driven by the trained model plus the dataset accounting and
+// training report.
+func TrainPipeline(scale float64, seed int64) (*Artisan, corpus.Table1, *llm.TrainReport, error) {
+	cfg := corpus.DefaultConfig(seed)
+	if scale > 0 {
+		cfg.Scale = scale
+	}
+	build, err := corpus.Generate(cfg)
+	if err != nil {
+		return nil, corpus.Table1{}, nil, err
+	}
+	model, report, err := llm.Train(build.Dataset(), llm.DefaultTrainConfig(seed))
+	if err != nil {
+		return nil, corpus.Table1{}, nil, err
+	}
+	return NewWithModel(model), build.Table1(cfg.Scale), report, nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"artisan/internal/llm"
+	"artisan/internal/spec"
+	"artisan/internal/units"
+)
+
+func TestDesignG1EndToEnd(t *testing.T) {
+	a := NewWithModel(llm.NewDomainModel(1, 0)) // deterministic
+	g1, _ := spec.Group("G-1")
+	out, err := a.Design(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Success {
+		t.Fatalf("G-1 design failed: %s", out.FailReason)
+	}
+	if out.Transistor == nil {
+		t.Fatal("no transistor-level mapping")
+	}
+	if len(out.Transistor.Devices) < 9 {
+		t.Errorf("transistor netlist has %d devices", len(out.Transistor.Devices))
+	}
+	chat := out.Transcript.Chat()
+	if !strings.Contains(chat, "[gm/Id] mapped to") {
+		t.Error("gm/Id step missing from transcript")
+	}
+}
+
+func TestDesignAllGroupsDeterministic(t *testing.T) {
+	for _, g := range spec.Groups() {
+		a := NewWithModel(llm.NewDomainModel(2, 0))
+		out, err := a.Design(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if !out.Success {
+			t.Errorf("%s failed: %s", g.Name, out.FailReason)
+		}
+	}
+}
+
+func TestParsePrompt(t *testing.T) {
+	sp, err := ParsePrompt("Please design an opamp meeting the following specs: " +
+		"gain >85dB, PM >55°, GBW >0.7MHz, and Power <250uW with capacitive load CL = 10pF.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.MinGainDB != 85 || sp.MinPM != 55 {
+		t.Errorf("gain/pm = %g/%g", sp.MinGainDB, sp.MinPM)
+	}
+	if !units.ApproxEqual(sp.MinGBW, 0.7e6, 1e-9) {
+		t.Errorf("GBW = %g", sp.MinGBW)
+	}
+	if !units.ApproxEqual(sp.MaxPower, 250e-6, 1e-9) {
+		t.Errorf("Power = %g", sp.MaxPower)
+	}
+	if !units.ApproxEqual(sp.CL, 10e-12, 1e-9) {
+		t.Errorf("CL = %g", sp.CL)
+	}
+	if sp.RL != 1e6 || sp.VDD != 1.8 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestParsePromptVariants(t *testing.T) {
+	// The paper's own group G-5 phrasing via Spec.Prompt round-trips.
+	g5, _ := spec.Group("G-5")
+	sp, err := ParsePrompt(g5.Prompt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(sp.CL, 1e-9, 1e-9) {
+		t.Errorf("CL = %g, want 1n", sp.CL)
+	}
+	if sp.MinGainDB != 85 {
+		t.Errorf("gain = %g", sp.MinGainDB)
+	}
+}
+
+func TestParsePromptErrors(t *testing.T) {
+	bad := []string{
+		"design me something nice",
+		"gain >85dB only",
+		"gain >9999dB, PM >55, GBW >1MHz, Power <250uW, CL = 10pF",
+		"gain >85dB, PM >55, GBW >1MHz, Power <250uW, CL = 1e-3", // 1 mF load is implausible
+	}
+	for _, p := range bad {
+		if _, err := ParsePrompt(p); err == nil {
+			t.Errorf("ParsePrompt(%q) should fail", p)
+		}
+	}
+}
+
+func TestDesignPrompt(t *testing.T) {
+	a := NewWithModel(llm.NewDomainModel(3, 0))
+	out, err := a.DesignPrompt("gain >85dB, PM >55°, GBW >0.7MHz, Power <250uW, CL = 10pF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Success {
+		t.Errorf("prompt-driven design failed: %s", out.FailReason)
+	}
+}
+
+func TestBaselineModelsThroughWorkflow(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	for _, m := range []llm.DesignerModel{llm.NewGPT4Model(), llm.NewLlama2Model()} {
+		a := NewWithModel(m)
+		out, err := a.Design(g1)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if out.Success {
+			t.Errorf("%s should fail the complete workflow", m.Name())
+		}
+		if out.Transistor != nil {
+			t.Errorf("%s: no mapping should happen on failure", m.Name())
+		}
+	}
+}
+
+func TestTrainPipelineEndToEnd(t *testing.T) {
+	a, tab, rep, err := TrainPipeline(0.002, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("Table1 rows = %d", len(tab.Rows))
+	}
+	if !rep.DAPT.Improved() {
+		t.Errorf("training did not improve held-out loss: %v", rep.DAPT.LossCurve)
+	}
+	// The trained Artisan still designs G-1.
+	g1, _ := spec.Group("G-1")
+	out, err := a.Design(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Success {
+		t.Errorf("trained Artisan failed G-1: %s", out.FailReason)
+	}
+}
+
+// End-to-end two-stage design: the "other opamp topologies" extension of
+// §2.2 — a buffer-class spec flows through the identical workflow and
+// comes out as a mapped two-stage circuit.
+func TestTwoStageEndToEnd(t *testing.T) {
+	a := NewWithModel(llm.NewDomainModel(6, 0))
+	out, err := a.DesignPrompt("gain >70dB, PM >55°, GBW >2MHz, Power <150uW, CL = 5pF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Success {
+		t.Fatalf("two-stage design failed: %s", out.FailReason)
+	}
+	if out.Arch != "SMC" && out.Arch != "SMCNR" {
+		t.Errorf("arch = %s, want SMC family", out.Arch)
+	}
+	if !out.Topology.TwoStage {
+		t.Error("result should be a two-stage topology")
+	}
+	if out.Transistor == nil {
+		t.Fatal("no transistor mapping")
+	}
+	// Two-stage mapping: pair + mirrors + tail + 1 CS + 1 load = 7.
+	if len(out.Transistor.Devices) != 7 {
+		t.Errorf("transistor count = %d, want 7", len(out.Transistor.Devices))
+	}
+}

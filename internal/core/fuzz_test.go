@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+// FuzzParsePrompt: arbitrary prompts must never panic; accepted specs
+// must be physically plausible.
+func FuzzParsePrompt(f *testing.F) {
+	f.Add("gain >85dB, PM >55°, GBW >0.7MHz, Power <250uW, CL = 10pF")
+	f.Add("design an opamp: gain 100dB gbw 1MHz pm 60 power 100uW load 5pF")
+	f.Add("gain gain gain")
+	f.Add("")
+	f.Add("GAIN > 90dB; PM > 60; GBW > 2MHz; POWER < 1mW; CL = 100pF")
+	f.Fuzz(func(t *testing.T, prompt string) {
+		sp, err := ParsePrompt(prompt)
+		if err != nil {
+			return
+		}
+		if sp.MinGainDB < 20 || sp.MinGainDB > 200 {
+			t.Fatalf("accepted implausible gain %g from %q", sp.MinGainDB, prompt)
+		}
+		if sp.CL <= 0 || sp.CL > 1e-6 {
+			t.Fatalf("accepted implausible CL %g from %q", sp.CL, prompt)
+		}
+	})
+}

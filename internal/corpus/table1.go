@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"artisan/internal/llm"
+)
+
+// Table1Row is one dataset line of the paper's Table 1.
+type Table1Row struct {
+	Split   string
+	Name    string
+	Samples int
+	Tokens  int
+}
+
+// Table1 is the dataset accounting table.
+type Table1 struct {
+	Scale float64
+	Rows  []Table1Row
+}
+
+// Table1 computes the dataset statistics of the build. When the build was
+// generated at a reduced scale, ScaledToPaper extrapolates.
+func (b *Build) Table1(scale float64) Table1 {
+	tok := llm.NewTokenizer()
+	countDocs := func(docs []llm.Document) (int, int) {
+		t := 0
+		for _, d := range docs {
+			t += tok.Count(d.Text)
+		}
+		return len(docs), t
+	}
+	countQA := func(qas []llm.QA) (int, int) {
+		t := 0
+		for _, q := range qas {
+			t += tok.Count(q.Question) + tok.Count(q.Answer)
+		}
+		return len(qas), t
+	}
+	var rows []Table1Row
+	s, t := countDocs(b.Corpus)
+	rows = append(rows, Table1Row{"Pre-training", "Collected corpus", s, t})
+	s, t = countDocs(b.TupleDoc)
+	rows = append(rows, Table1Row{"Pre-training", "NetlistTuple", s, t})
+	s, t = countQA(b.Alpaca)
+	rows = append(rows, Table1Row{"Fine-tuning", "Alpaca dataset", s, t})
+	s, t = countQA(b.DesignQA)
+	rows = append(rows, Table1Row{"Fine-tuning", "DesignQA", s, t})
+	return Table1{Scale: scale, Rows: rows}
+}
+
+// Totals returns (samples, tokens) for one split.
+func (t Table1) Totals(split string) (int, int) {
+	s, tk := 0, 0
+	for _, r := range t.Rows {
+		if r.Split == split {
+			s += r.Samples
+			tk += r.Tokens
+		}
+	}
+	return s, tk
+}
+
+// ScaledToPaper extrapolates the measured counts back to paper scale
+// (scale⁻¹ linear extrapolation), for the Table 1 comparison.
+func (t Table1) ScaledToPaper() Table1 {
+	if t.Scale <= 0 {
+		return t
+	}
+	out := Table1{Scale: 1}
+	f := 1 / t.Scale
+	for _, r := range t.Rows {
+		out.Rows = append(out.Rows, Table1Row{
+			Split: r.Split, Name: r.Name,
+			Samples: int(float64(r.Samples) * f),
+			Tokens:  int(float64(r.Tokens) * f),
+		})
+	}
+	return out
+}
+
+// String renders the table in the paper's layout (samples in k, tokens
+// in M).
+func (t Table1) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: dataset information (scale %.4g)\n", t.Scale)
+	fmt.Fprintf(&b, "%-14s %-18s %12s %12s\n", "Split", "Name", "Samples(k)", "Tokens(M)")
+	lastSplit := ""
+	for _, r := range t.Rows {
+		split := r.Split
+		if split == lastSplit {
+			split = ""
+		} else {
+			lastSplit = split
+		}
+		fmt.Fprintf(&b, "%-14s %-18s %12.1f %12.2f\n", split, r.Name,
+			float64(r.Samples)/1e3, float64(r.Tokens)/1e6)
+	}
+	for _, split := range []string{"Pre-training", "Fine-tuning"} {
+		s, tk := t.Totals(split)
+		fmt.Fprintf(&b, "%-14s %-18s %12.1f %12.2f\n", split, "Total",
+			float64(s)/1e3, float64(tk)/1e6)
+	}
+	return b.String()
+}

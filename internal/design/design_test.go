@@ -1,0 +1,332 @@
+package design
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"artisan/internal/measure"
+	"artisan/internal/spec"
+	"artisan/internal/topology"
+)
+
+// analyze elaborates a result under its spec's load and measures it.
+func analyze(t *testing.T, r *Result) measure.Report {
+	t.Helper()
+	env := topology.DefaultEnv()
+	env.CL, env.RL = r.Spec.CL, r.Spec.RL
+	nl, err := r.Topo.Elaborate(env)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	rep, err := measure.Analyze(nl, "out")
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return rep
+}
+
+// Each architecture's default-knob design must meet the spec group it was
+// calibrated for — this is the load-bearing guarantee behind Artisan's
+// high success rate.
+func TestCalibratedRecipesMeetSpecs(t *testing.T) {
+	cases := []struct {
+		arch  string
+		group string
+	}{
+		{"NMC", "G-1"},
+		{"NMC", "G-2"},
+		{"NMC", "G-4"},
+		{"NMCNR", "G-1"},
+		{"NMCF", "G-3"},
+		{"NGCC", "G-1"},
+		{"MNMC", "G-1"},
+		{"DFCFC", "G-5"},
+		{"DFCFC", "G-1"},
+		{"TCFC", "G-1"},
+		{"AZC", "G-1"},
+	}
+	for _, c := range cases {
+		g, err := spec.Group(c.group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Design(c.arch, g, nil)
+		if err != nil {
+			t.Errorf("%s/%s: %v", c.arch, c.group, err)
+			continue
+		}
+		rep := analyze(t, r)
+		if !g.Satisfied(rep) {
+			t.Errorf("%s on %s: %v — %s", c.arch, c.group, rep, spec.Describe(g.Check(rep)))
+		}
+	}
+}
+
+func TestNMCMatchesPaperNumbers(t *testing.T) {
+	// With GBW = 1 MHz, Cm1 = 4 pF, Cm2 = 3 pF the paper's Fig. 7 A3
+	// derives gm3 = 251.2µ, gm1 = 25.12µ, gm2 = 37.68µ.
+	g1, _ := spec.Group("G-1")
+	k := Knobs{"GBWMargin": 1e6 / g1.MinGBW, "Cm1": 4e-12, "Cm2Ratio": 0.75}
+	r, err := Design("NMC", g1, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{"gm3": 251.3e-6, "gm1": 25.13e-6, "gm2": 37.70e-6}
+	for name, want := range checks {
+		got, ok := r.Param(name)
+		if !ok {
+			t.Fatalf("param %s missing", name)
+		}
+		if rel := (got - want) / want; rel > 1e-3 || rel < -1e-3 {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+}
+
+func TestHighGainTriggersCascode(t *testing.T) {
+	g2, _ := spec.Group("G-2")
+	r, err := Design("NMC", g2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Topo.Stages[1].A0 != 160 {
+		t.Errorf("G-2 NMC should upgrade stage 2 to cascode, A0 = %g", r.Topo.Stages[1].A0)
+	}
+	found := false
+	for _, s := range r.Steps {
+		if s.Title == "gain enhancement" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("gain enhancement step missing from derivation")
+	}
+
+	g1, _ := spec.Group("G-1")
+	r1, err := Design("NMC", g1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Topo.Stages[1].A0 == 160 {
+		t.Error("G-1 NMC should not need the cascode upgrade")
+	}
+}
+
+func TestTranscriptShape(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	r, err := Design("NMC", g1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Steps) < 6 {
+		t.Errorf("NMC flow has %d steps, want >= 6", len(r.Steps))
+	}
+	tr := r.Transcript()
+	for _, want := range []string{
+		"Q0:", "A0:", "nested Miller compensation",
+		"Butterworth", "[calculator] gm3 = 8*pi*GBW*CL",
+		"final behavioral netlist",
+	} {
+		if !strings.Contains(tr, want) {
+			t.Errorf("transcript missing %q", want)
+		}
+	}
+	// Steps are consecutively indexed.
+	for i, s := range r.Steps {
+		if s.Index != i {
+			t.Errorf("step %d has index %d", i, s.Index)
+		}
+	}
+}
+
+func TestKnobsSampling(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	rng := rand.New(rand.NewSource(1))
+	k0, err := DefaultKnobs("NMC", g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := SampleKnobs("NMC", g1, rng, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k1) != len(k0) {
+		t.Fatalf("sampled knobs lost keys: %v vs %v", k1, k0)
+	}
+	same := true
+	for key := range k0 {
+		ratio := k1[key] / k0[key]
+		if ratio < 0.2 || ratio > 5 {
+			t.Errorf("knob %s jittered too far: %g", key, ratio)
+		}
+		if k1[key] != k0[key] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("sampling at temperature 0.15 changed nothing")
+	}
+	// Zero temperature = defaults.
+	kz, _ := SampleKnobs("NMC", g1, rng, 0)
+	for key := range k0 {
+		if kz[key] != k0[key] {
+			t.Errorf("zero-temperature sample changed %s", key)
+		}
+	}
+}
+
+// Sampled designs at the operating temperature succeed most of the time —
+// the stochastic behaviour behind the paper's 7–9/10 success rates.
+func TestSampledSuccessRates(t *testing.T) {
+	cases := []struct {
+		arch, group string
+		minSucc     int
+	}{
+		{"NMC", "G-1", 6},
+		{"NMC", "G-4", 6},
+		{"NMCF", "G-3", 4},
+		{"DFCFC", "G-5", 5},
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, c := range cases {
+		g, _ := spec.Group(c.group)
+		succ := 0
+		const trials = 10
+		for i := 0; i < trials; i++ {
+			k, err := SampleKnobs(c.arch, g, rng, 0.12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Design(c.arch, g, k)
+			if err != nil {
+				continue
+			}
+			if g.Satisfied(analyze(t, r)) {
+				succ++
+			}
+		}
+		if succ < c.minSucc {
+			t.Errorf("%s on %s: %d/%d sampled successes, want >= %d",
+				c.arch, c.group, succ, trials, c.minSucc)
+		}
+	}
+}
+
+func TestLowPowerKnobs(t *testing.T) {
+	g4, _ := spec.Group("G-4")
+	k, _ := DefaultKnobs("NMC", g4)
+	if k["Cm1"] != 2e-12 {
+		t.Errorf("low-power NMC should shrink Cm1, got %g", k["Cm1"])
+	}
+	g1, _ := spec.Group("G-1")
+	k1, _ := DefaultKnobs("NMC", g1)
+	if k1["Cm1"] != 4e-12 {
+		t.Errorf("standard NMC Cm1 = %g, want 4p", k1["Cm1"])
+	}
+}
+
+func TestUnknownArchitecture(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	if _, err := Design("XYZ", g1, nil); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	if _, err := DefaultKnobs("XYZ", g1); err == nil {
+		t.Error("DefaultKnobs accepted unknown architecture")
+	}
+	if _, err := SampleKnobs("XYZ", g1, rand.New(rand.NewSource(1)), 0.1); err == nil {
+		t.Error("SampleKnobs accepted unknown architecture")
+	}
+}
+
+func TestAllArchitecturesProduceDerivations(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	for _, arch := range Architectures() {
+		g := g1
+		if arch == "DFCFC" {
+			g, _ = spec.Group("G-5")
+		}
+		r, err := Design(arch, g, nil)
+		if err != nil {
+			t.Errorf("%s: %v", arch, err)
+			continue
+		}
+		if len(r.Steps) < 3 {
+			t.Errorf("%s: only %d steps", arch, len(r.Steps))
+		}
+		if r.Topo == nil || r.Topo.Name != arch {
+			t.Errorf("%s: topology name %q", arch, r.Topo.Name)
+		}
+		if !strings.Contains(r.Transcript(), "netlist") {
+			t.Errorf("%s: transcript missing netlist step", arch)
+		}
+		if r.FormatParams() == "" {
+			t.Errorf("%s: no formatted parameters", arch)
+		}
+		if r.ExpectedFoM() <= 0 {
+			t.Errorf("%s: ExpectedFoM = %g", arch, r.ExpectedFoM())
+		}
+	}
+}
+
+func TestKnobsCloneAndString(t *testing.T) {
+	k := Knobs{"A": 1, "B": 2e-12}
+	c := k.Clone()
+	c["A"] = 5
+	if k["A"] != 1 {
+		t.Error("Clone shares storage")
+	}
+	s := k.String()
+	if !strings.Contains(s, "A=1") || !strings.Contains(s, "B=2p") {
+		t.Errorf("Knobs.String = %q", s)
+	}
+}
+
+// Every Miller-family architecture takes the cascode gain-enhancement
+// branch when pushed to a 110 dB spec.
+func TestCascodeBranchAllArchitectures(t *testing.T) {
+	g2, _ := spec.Group("G-2")
+	for _, arch := range []string{"NMC", "NMCNR", "NMCF", "MNMC", "NGCC", "TCFC", "AZC"} {
+		r, err := Design(arch, g2, nil)
+		if err != nil {
+			t.Errorf("%s: %v", arch, err)
+			continue
+		}
+		if r.Topo.Stages[1].A0 != 160 {
+			t.Errorf("%s: cascode upgrade not taken for G-2 (A0=%g)", arch, r.Topo.Stages[1].A0)
+		}
+	}
+	// DFCFC too, under its huge-load spec with the gain pushed.
+	g5, _ := spec.Group("G-5")
+	g5.MinGainDB = 110
+	r, err := Design("DFCFC", g5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Topo.Stages[1].A0 != 160 {
+		t.Error("DFCFC cascode branch not taken")
+	}
+}
+
+// Invalid knob values must surface as errors, not panics or bogus designs.
+func TestInvalidKnobsRejected(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	bad := []Knobs{
+		{"GBWMargin": 1.4, "Cm1": -4e-12, "Cm2Ratio": 0.75}, // negative cap
+		{"GBWMargin": 1.4, "Cm1": 0, "Cm2Ratio": 0.75},      // zero cap
+		{"GBWMargin": -1, "Cm1": 4e-12, "Cm2Ratio": 0.75},   // negative GBW → negative gm
+	}
+	for i, k := range bad {
+		if r, err := Design("NMC", g1, k); err == nil {
+			t.Errorf("bad knobs %d accepted: %v", i, r.Topo.Summary())
+		}
+	}
+}
+
+// Missing knob keys hit the calculator's undefined-variable error.
+func TestMissingKnobKey(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	if _, err := Design("NMC", g1, Knobs{"GBWMargin": 1.4}); err == nil {
+		t.Error("missing Cm1 knob accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Package gmid implements the gm/Id transistor-sizing methodology
+// (Jespers [8]; the open-source scripts of Lu et al. [11] the paper uses)
+// on an EKV-style analytic device model: it inverts transconductance
+// efficiency to an inversion coefficient, sizes W/L, and lowers a
+// behavioral three-stage topology to a transistor-level netlist — the
+// final Artisan workflow stage (Fig. 2, "gm/Id mapping"; Fig. 6(d)).
+//
+// The behavioral MNA simulator remains the performance-verification
+// engine, exactly as the paper verifies at behavioral level and maps to
+// transistors afterwards.
+package gmid
+
+import (
+	"fmt"
+	"math"
+
+	"artisan/internal/units"
+)
+
+// Tech holds the technology constants of the EKV-style model.
+type Tech struct {
+	Name    string
+	MuCoxN  float64 // NMOS process transconductance, A/V²
+	MuCoxP  float64 // PMOS process transconductance, A/V²
+	N       float64 // subthreshold slope factor
+	Ut      float64 // thermal voltage, V
+	VTN     float64 // NMOS threshold, V
+	VTP     float64 // |PMOS threshold|, V
+	LMin    float64 // minimum channel length, m
+	LAnalog float64 // default analog channel length, m
+	WMin    float64 // minimum width, m
+	WMax    float64 // maximum sensible width, m
+}
+
+// Default180nm models a mature 180 nm-class analog process (the
+// 1.8 V supply of §4.1.3 matches this node).
+func Default180nm() Tech {
+	return Tech{
+		Name:   "generic-180nm",
+		MuCoxN: 300e-6, MuCoxP: 80e-6,
+		N: 1.3, Ut: 0.0258,
+		VTN: 0.45, VTP: 0.45,
+		LMin: 0.18e-6, LAnalog: 0.5e-6,
+		WMin: 0.3e-6, WMax: 5e-3,
+	}
+}
+
+// MaxGmID returns the weak-inversion ceiling of gm/Id = 1/(n·Ut).
+func (t Tech) MaxGmID() float64 { return 1 / (t.N * t.Ut) }
+
+// GmIDFromIC evaluates the EKV interpolation
+// gm/Id = 1 / (n·Ut·(0.5 + sqrt(0.25 + IC))).
+func (t Tech) GmIDFromIC(ic float64) float64 {
+	return 1 / (t.N * t.Ut * (0.5 + math.Sqrt(0.25+ic)))
+}
+
+// ICFromGmID inverts GmIDFromIC. gmid must be positive and below the
+// weak-inversion ceiling.
+func (t Tech) ICFromGmID(gmid float64) (float64, error) {
+	if gmid <= 0 {
+		return 0, fmt.Errorf("gmid: non-positive gm/Id %g", gmid)
+	}
+	if gmid >= t.MaxGmID() {
+		return 0, fmt.Errorf("gmid: gm/Id %g exceeds weak-inversion limit %.1f", gmid, t.MaxGmID())
+	}
+	r := 1/(gmid*t.N*t.Ut) - 0.5 // = sqrt(0.25+IC)
+	return r*r - 0.25, nil
+}
+
+// ISpecSq returns the specific current per square, 2·n·µCox·Ut².
+func (t Tech) ISpecSq(pmos bool) float64 {
+	mu := t.MuCoxN
+	if pmos {
+		mu = t.MuCoxP
+	}
+	return 2 * t.N * mu * t.Ut * t.Ut
+}
+
+// Vov returns the EKV effective overdrive for an inversion coefficient.
+func (t Tech) Vov(ic float64) float64 {
+	return 2 * t.N * t.Ut * math.Log(math.Exp(math.Sqrt(ic))-1+1e-12)
+}
+
+// Region classifies the operating region by inversion coefficient.
+func Region(ic float64) string {
+	switch {
+	case ic < 0.1:
+		return "weak"
+	case ic <= 10:
+		return "moderate"
+	default:
+		return "strong"
+	}
+}
+
+// Device is one sized transistor.
+type Device struct {
+	Name   string
+	PMOS   bool
+	W, L   float64 // m
+	Id     float64 // A
+	Gm     float64 // S
+	GmID   float64 // S/A
+	IC     float64
+	VGS    float64 // V (magnitude)
+	Region string
+	Role   string // human-readable function in the opamp
+}
+
+// Line renders the device as a SPICE MOS card with sizing comments.
+func (d Device) Line(nodes string) string {
+	model := "nch"
+	if d.PMOS {
+		model = "pch"
+	}
+	return fmt.Sprintf("%s %s %s W=%s L=%s * Id=%sA gm=%sS gm/Id=%.1f IC=%.2g (%s) %s",
+		d.Name, nodes, model,
+		units.FormatUnit(d.W, "m"), units.FormatUnit(d.L, "m"),
+		units.Format(d.Id), units.Format(d.Gm), d.GmID, d.IC, d.Region, d.Role)
+}
+
+// Size computes a transistor realizing the given transconductance at the
+// chosen efficiency.
+func (t Tech) Size(name string, gm, gmid, l float64, pmos bool, role string) (Device, error) {
+	if gm <= 0 {
+		return Device{}, fmt.Errorf("gmid: non-positive gm %g for %s", gm, name)
+	}
+	if l <= 0 {
+		l = t.LAnalog
+	}
+	if l < t.LMin {
+		return Device{}, fmt.Errorf("gmid: channel length %g below minimum %g", l, t.LMin)
+	}
+	ic, err := t.ICFromGmID(gmid)
+	if err != nil {
+		return Device{}, fmt.Errorf("gmid: sizing %s: %w", name, err)
+	}
+	id := gm / gmid
+	wOverL := id / (ic * t.ISpecSq(pmos))
+	w := wOverL * l
+	if w < t.WMin {
+		w = t.WMin
+	}
+	if w > t.WMax {
+		return Device{}, fmt.Errorf("gmid: %s needs W=%g beyond %g; raise gm/Id or split fingers", name, w, t.WMax)
+	}
+	vt := t.VTN
+	if pmos {
+		vt = t.VTP
+	}
+	return Device{
+		Name: name, PMOS: pmos, W: w, L: l,
+		Id: id, Gm: gm, GmID: gmid, IC: ic,
+		VGS: vt + t.Vov(ic), Region: Region(ic), Role: role,
+	}, nil
+}

@@ -1,0 +1,191 @@
+package gmid
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"artisan/internal/design"
+	"artisan/internal/spec"
+	"artisan/internal/units"
+)
+
+func TestGmIDInversionRoundTrip(t *testing.T) {
+	tech := Default180nm()
+	f := func(raw float64) bool {
+		// gm/Id in (1, ceiling·0.98)
+		g := 1 + math.Mod(math.Abs(raw), tech.MaxGmID()*0.98-1)
+		ic, err := tech.ICFromGmID(g)
+		if err != nil {
+			return false
+		}
+		return units.ApproxEqual(tech.GmIDFromIC(ic), g, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGmIDMonotone(t *testing.T) {
+	tech := Default180nm()
+	// gm/Id falls as IC rises (deeper inversion = less efficiency).
+	prev := math.Inf(1)
+	for ic := 0.01; ic < 1000; ic *= 3 {
+		g := tech.GmIDFromIC(ic)
+		if g >= prev {
+			t.Fatalf("gm/Id not monotone at IC=%g", ic)
+		}
+		prev = g
+	}
+	if tech.MaxGmID() < 25 || tech.MaxGmID() > 35 {
+		t.Errorf("weak-inversion ceiling = %g, want ≈ 29.8", tech.MaxGmID())
+	}
+}
+
+func TestICFromGmIDErrors(t *testing.T) {
+	tech := Default180nm()
+	if _, err := tech.ICFromGmID(0); err == nil {
+		t.Error("zero gm/Id accepted")
+	}
+	if _, err := tech.ICFromGmID(tech.MaxGmID() + 1); err == nil {
+		t.Error("above-ceiling gm/Id accepted")
+	}
+}
+
+func TestRegionClassification(t *testing.T) {
+	if Region(0.01) != "weak" || Region(1) != "moderate" || Region(100) != "strong" {
+		t.Error("region boundaries wrong")
+	}
+}
+
+func TestSize(t *testing.T) {
+	tech := Default180nm()
+	d, err := tech.Size("M1", 251.3e-6, 16, 0, false, "third stage CS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(d.Id, 251.3e-6/16, 1e-9) {
+		t.Errorf("Id = %g", d.Id)
+	}
+	if d.L != tech.LAnalog {
+		t.Errorf("default L = %g, want %g", d.L, tech.LAnalog)
+	}
+	if d.W <= 0 || d.W < tech.WMin {
+		t.Errorf("W = %g", d.W)
+	}
+	if d.Region != "moderate" {
+		t.Errorf("gm/Id=16 should be moderate inversion, got %s (IC=%g)", d.Region, d.IC)
+	}
+	if d.VGS <= tech.VTN {
+		t.Errorf("VGS = %g should exceed VT", d.VGS)
+	}
+	line := d.Line("out n2 0 0")
+	for _, want := range []string{"M1", "nch", "W=", "gm/Id=16.0", "third stage"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Line %q missing %q", line, want)
+		}
+	}
+	// PMOS device is wider for the same operating point.
+	dp, err := tech.Size("M2", 251.3e-6, 16, 0, true, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.W <= d.W {
+		t.Error("PMOS should be wider than NMOS at equal gm")
+	}
+}
+
+func TestSizeErrors(t *testing.T) {
+	tech := Default180nm()
+	if _, err := tech.Size("M1", -1, 16, 0, false, ""); err == nil {
+		t.Error("negative gm accepted")
+	}
+	if _, err := tech.Size("M1", 1e-3, 40, 0, false, ""); err == nil {
+		t.Error("impossible gm/Id accepted")
+	}
+	if _, err := tech.Size("M1", 1e-3, 16, 0.1e-6, false, ""); err == nil {
+		t.Error("sub-minimum L accepted")
+	}
+	// Absurd gm at high efficiency would need an enormous device.
+	if _, err := tech.Size("M1", 10, 29, 0, false, ""); err == nil {
+		t.Error("impossible width accepted")
+	}
+}
+
+func TestMapNMC(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	r, err := design.Design("NMC", g1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := Map(Default180nm(), DefaultStagePlan(), r.Topo, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skeleton: 2 pair + 2 mirror + tail + 2 CS + 2 loads = 9 devices.
+	if len(tn.Devices) != 9 {
+		t.Errorf("device count = %d, want 9", len(tn.Devices))
+	}
+	// Both Miller caps must survive as passives.
+	if len(tn.Passives) != 2 {
+		t.Errorf("passives = %v, want the two Miller caps", tn.Passives)
+	}
+	// Mapped power should be in the same ballpark as the behavioral
+	// power model (tens of µW for G-1).
+	p := tn.Power()
+	if p < 10e-6 || p > 120e-6 {
+		t.Errorf("mapped power = %g, want tens of µW", p)
+	}
+	text := tn.String()
+	for _, want := range []string{"M1a", "M1b", "M4", "Cc", "transistor level", ".end"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("netlist missing %q", want)
+		}
+	}
+}
+
+func TestMapDFCFCIncludesAux(t *testing.T) {
+	g5, _ := spec.Group("G-5")
+	r, err := design.Design("DFCFC", g5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := Map(Default180nm(), DefaultStagePlan(), r.Topo, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aux := 0
+	for _, d := range tn.Devices {
+		if strings.Contains(d.Role, "aux") {
+			aux++
+		}
+	}
+	// DFCFC has gmf (in the parallel conn) and gm4 (DFC block).
+	if aux != 2 {
+		t.Errorf("aux transconductors = %d, want 2", aux)
+	}
+}
+
+func TestMapRejectsInvalidTopology(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	r, err := design.Design("NMC", g1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := r.Topo.Clone()
+	bad.Stages[0].Gm = -1
+	if _, err := Map(Default180nm(), DefaultStagePlan(), bad, 1.8); err == nil {
+		t.Error("invalid topology accepted")
+	}
+}
+
+func TestVovPositiveInStrongInversion(t *testing.T) {
+	tech := Default180nm()
+	if tech.Vov(25) <= 0 {
+		t.Error("strong-inversion Vov should be positive")
+	}
+	if tech.Vov(0.01) >= 0 {
+		t.Error("weak-inversion Vov should be negative (sub-VT)")
+	}
+}

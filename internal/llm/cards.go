@@ -1,0 +1,173 @@
+package llm
+
+import (
+	"artisan/internal/spec"
+)
+
+// ArchProfile is the structured half of an architecture knowledge card:
+// the performance preferences of mainstream architectures the paper's
+// experts annotate for the ToT decision points (§3.3.1).
+type ArchProfile struct {
+	Arch      string
+	MaxCL     float64 // largest load the compensation can drive well, F
+	MaxGBW    float64 // practical GBW ceiling under the paper's power budgets, Hz
+	GainDB    float64 // gain achievable without extra enhancement, dB
+	PowerApt  float64 // 0..1, aptitude for very tight power budgets
+	Prefer    float64 // 0..1 expert prior: how readily a designer reaches for it
+	Rationale string
+}
+
+// Suitability scores the architecture for a spec; 0 means structurally
+// unsuitable. The weighting reproduces the expert preference ordering:
+// NMC for general use, NMCF when GBW dominates, DFCFC for huge loads.
+func (p ArchProfile) Suitability(s spec.Spec) float64 {
+	if s.CL > p.MaxCL {
+		return 0
+	}
+	if s.MinGBW > p.MaxGBW {
+		return 0
+	}
+	if s.MinGainDB > p.GainDB {
+		return 0
+	}
+	score := p.Prefer
+	// Prefer not to burn exotic structures on easy specs: mild penalty
+	// encoded via PowerApt when the budget is tight.
+	if s.MaxPower < 100e-6 {
+		score *= 0.5 + p.PowerApt
+	}
+	// Headroom bonuses: the closer a spec pushes a ceiling, the more an
+	// architecture with slack is preferred.
+	score *= minf(1, p.MaxGBW/(4*s.MinGBW)+0.5)
+	score *= minf(1, p.MaxCL/(4*s.CL)+0.5)
+	return score
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DomainProfiles is the expert-annotated architecture preference table of
+// the Artisan-LLM (the G-x aptitudes were calibrated against the MNA
+// substrate; see internal/design).
+func DomainProfiles() []ArchProfile {
+	return []ArchProfile{
+		{Arch: "NMC", MaxCL: 60e-12, MaxGBW: 3e6, GainDB: 120, PowerApt: 0.5, Prefer: 0.95,
+			Rationale: "The classic nested Miller compensation is the best-characterised general-purpose choice; Butterworth sizing gives ~60° PM with predictable power."},
+		{Arch: "NMCNR", MaxCL: 60e-12, MaxGBW: 3.5e6, GainDB: 120, PowerApt: 0.45, Prefer: 0.85,
+			Rationale: "NMC with a nulling resistor removes the RHP zero; a safe refinement of NMC when extra phase lead is needed."},
+		{Arch: "NMCF", MaxCL: 80e-12, MaxGBW: 12e6, GainDB: 119, PowerApt: 0.35, Prefer: 0.7,
+			Rationale: "The feedforward stage forms a push-pull output and an LHP zero, stretching GBW well beyond plain NMC at moderate power — choose it when the GBW spec dominates."},
+		{Arch: "MNMC", MaxCL: 60e-12, MaxGBW: 6e6, GainDB: 119, PowerApt: 0.3, Prefer: 0.5,
+			Rationale: "Multipath NMC cancels the first non-dominant pole with an input feedforward; sensitive to matching."},
+		{Arch: "NGCC", MaxCL: 60e-12, MaxGBW: 3e6, GainDB: 119, PowerApt: 0.2, Prefer: 0.55,
+			Rationale: "Nested Gm-C cancels every feedforward zero with replica transconductors; robust but pays two extra branches of current."},
+		{Arch: "DFCFC", MaxCL: 3e-9, MaxGBW: 4e6, GainDB: 118, PowerApt: 0.55, Prefer: 0.65,
+			Rationale: "The damping-factor-control block turns the inner compensation into a frequency-dependent capacitor that damps the non-dominant pair, so the output stage no longer scales with CL — the architecture of choice for very large capacitive loads."},
+		{Arch: "TCFC", MaxCL: 60e-12, MaxGBW: 5e6, GainDB: 119, PowerApt: 0.25, Prefer: 0.45,
+			Rationale: "Current-buffer (cascode) compensation removes the RHP zero and isolates the compensation current; needs a fast relay device."},
+		{Arch: "AZC", MaxCL: 60e-12, MaxGBW: 2.5e6, GainDB: 118, PowerApt: 0.5, Prefer: 0.5,
+			Rationale: "Active-zero compensation places a tunable LHP zero with an auxiliary transconductor; frugal but limited in GBW."},
+		{Arch: "SMC", MaxCL: 60e-12, MaxGBW: 20e6, GainDB: 76, PowerApt: 0.7, Prefer: 1.0,
+			Rationale: "For modest gain specifications a two-stage simple-Miller opamp is the frugal default: one compensation capacitor, two branches of current, wide bandwidth headroom."},
+		{Arch: "SMCNR", MaxCL: 60e-12, MaxGBW: 25e6, GainDB: 76, PowerApt: 0.65, Prefer: 0.9,
+			Rationale: "Two-stage Miller with a nulling resistor: the RHP zero moves to the LHP, buying phase margin at high GBW targets."},
+	}
+}
+
+// DomainCards is the textual knowledge base of the trained Artisan-LLM:
+// design-flow knowledge, analysis formulas, and modification strategies,
+// transcribed from the three-stage compensation literature the paper's
+// experts annotate ([9], [20]).
+func DomainCards() []Card {
+	var cards []Card
+	for _, p := range DomainProfiles() {
+		cards = append(cards, Card{
+			ID: "arch-" + p.Arch, Topic: "architecture", Arch: p.Arch,
+			Keywords: []string{"recommend", "architecture", "topology", p.Arch},
+			Body:     p.Rationale,
+		})
+	}
+	cards = append(cards,
+		Card{ID: "analysis-nmc", Topic: "analysis", Arch: "NMC",
+			Keywords: []string{"zero", "pole", "distribution", "transfer function", "miller"},
+			Body: "Under the Miller effect of compensation capacitors Cm1 and Cm2 the dominant pole is p1 = 1/(2*pi*Cm1*gm2*gm3*Ro1*Ro2*(Ro3||RL)); " +
+				"the gain-bandwidth product is GBW = Av*p1 = gm1/(2*pi*Cm1); the non-dominant poles are set by gm2, gm3, Cm2 and CL; " +
+				"the capacitive feedforward through Cm1 leaves an RHP zero near gm3/(Cm1+Cm2)."},
+		Card{ID: "allocation-butterworth", Topic: "analysis", Arch: "NMC",
+			Keywords: []string{"allocate", "butterworth", "pole", "ratio"},
+			Body: "Set p1 < GBW < |p2| <= |p3| to build a single-pole system within the frequency range 0..GBW. " +
+				"According to the Butterworth methodology set GBW:p2:p3 = 1:2:4 to ensure a maximally flat response with about 60 degrees of phase margin. " +
+				"This yields gm3 = 8*pi*GBW*CL, gm1 = gm3*Cm1/(4*CL), gm2 = gm3*Cm2/(2*CL)."},
+		Card{ID: "analysis-dfcfc", Topic: "analysis", Arch: "DFCFC",
+			Keywords: []string{"damping", "factor", "control", "frequency dependent capacitor", "large load"},
+			Body: "The DFC block - a gain stage gm4 with feedback capacitor Cm3 - functions as a frequency-dependent capacitor: " +
+				"below 1/(2*pi*Cm3*Ro4) it multiplies Cm3 by gm4*Ro4, above it contributes damping. " +
+				"It controls the damping factor of the non-dominant complex pole pair so the output stage no longer needs gm3 proportional to CL."},
+		Card{ID: "mod-large-load", Topic: "modification", Arch: "DFCFC",
+			Keywords: []string{"modify", "large", "capacitive", "load", "1nF", "fails", "drive"},
+			Body: "The NMC architecture fails to drive a very large CL because the output pole gm3/(2*pi*CL) collapses and the required gm3 = 8*pi*GBW*CL explodes the power budget. " +
+				"Add a damping-factor-control (DFC) block with a gain stage gm4 and a feedback capacitor Cm3, and cancel the inner-loop Miller capacitor Cm2; " +
+				"add a feedforward stage for a push-pull output. The netlist is thus modified into the DFCFC architecture."},
+		Card{ID: "mod-gain", Topic: "modification", Arch: "NMC",
+			Keywords: []string{"modify", "gain", "insufficient", "low", "cascode"},
+			Body:     "When the DC gain misses the spec, replace the second stage with a telescopic-cascode stage: its intrinsic gain rises from about 45 to 160 without additional bias current."},
+		Card{ID: "mod-gbw", Topic: "modification", Arch: "NMCF",
+			Keywords: []string{"modify", "gbw", "bandwidth", "slow", "feedforward"},
+			Body:     "When the GBW spec dominates, add a feedforward transconductance from the first-stage output to the output (NMCF): the LHP zero it creates relaxes the output-stage requirement and extends bandwidth."},
+		Card{ID: "mod-power", Topic: "modification", Arch: "NMC",
+			Keywords: []string{"modify", "power", "budget", "exceed", "current"},
+			Body:     "When the power budget is tight, shrink the compensation capacitors (gm1 and gm2 scale with them), bias toward weak inversion (higher gm/Id), and keep only the minimum gm3 = 8*pi*GBW*CL."},
+		Card{ID: "flow-overview", Topic: "flow", Arch: "",
+			Keywords: []string{"design", "process", "flow", "steps"},
+			Body: "The methodological design flow: 1) select topology from the specs; 2) analyze the zero-pole distribution; 3) allocate poles (Butterworth); " +
+				"4) solve the main design parameters with the calculator; 5) check the gain budget; 6) check the power budget; 7) assemble the behavioral netlist; 8) verify by simulation and iterate."},
+		Card{ID: "gmid-mapping", Topic: "flow", Arch: "",
+			Keywords: []string{"transistor", "gm/id", "mapping", "sizing", "W/L"},
+			Body: "Map the behavioral design to transistors with the gm/Id methodology: the stage connected to the input node becomes a current-mirror differential amplifier and the remaining stages become common-source amplifiers; " +
+				"choose gm/Id per role (input pair ~20, mirrors ~12, drivers ~16) and size W/L from the inversion coefficient."},
+	)
+	return cards
+}
+
+// GPT4Cards reproduces the documented knowledge of off-the-shelf GPT-4
+// (Fig. 7): a sensible architecture recommendation, an incorrect
+// dominant-pole formula, and the unsuitable MPMC suggestion for large
+// loads.
+func GPT4Cards() []Card {
+	return []Card{
+		{ID: "gpt4-arch", Topic: "architecture", Arch: "NMC",
+			Keywords: []string{"recommend", "architecture", "three-stage"},
+			Body: "NMC: Nested Miller Compensation is particularly effective for multi-stage amplifiers: " +
+				"1) providing better PM and frequency compensation in three-stage cases; 2) allowing for trade-offs between gain, bandwidth and stability; 3) handling varying load conditions."},
+		{ID: "gpt4-analysis", Topic: "analysis", Arch: "NMC",
+			Keywords: []string{"zero", "pole", "distribution"},
+			// The paper highlights this as wrong: the dominant pole is NOT
+			// gm3/CL (that is the output pole), and non-dominant poles are
+			// not "higher due to compensation".
+			Body: "1) The dominant pole is determined by the output stage and the load: p1 = gm3/CL. 2) Non-dominant poles are higher due to compensation."},
+		{ID: "gpt4-mod", Topic: "modification", Arch: "MPMC",
+			Keywords: []string{"modify", "large", "load", "1nF"},
+			Body: "1) Increase the compensation capacitance values to handle a larger load, which may impact bandwidth. " +
+				"2) Consider the multi-path Miller compensation (MPMC) technique to add a new path for the compensation."},
+	}
+}
+
+// Llama2Cards reproduces the Fig. 7 behaviour of Llama2-7b-chat:
+// irrelevant basics and unprofessional suggestions.
+func Llama2Cards() []Card {
+	return []Card{
+		{ID: "llama2-arch", Topic: "architecture", Arch: "",
+			Keywords: []string{"recommend", "architecture"},
+			Body:     "You can use a multi-stage opamp architecture. Stage 1: current feedback opamp. Stage 2: voltage follower. Stage 3: voltage follower."},
+		{ID: "llama2-analysis", Topic: "analysis", Arch: "",
+			Keywords: []string{"zero", "pole"},
+			Body:     "z = (R1+R2)/(2*R3) and p = (R1+R2)/(2*R3), where R1 and R2 are feedback resistors and R3 is the input impedance."},
+		{ID: "llama2-mod", Topic: "modification", Arch: "",
+			Keywords: []string{"modify", "load"},
+			Body:     "1) Increase the Miller capacitance values. 2) Adjust the transconductance ratios of the three stages to reduce the load on each stage. 3) Increase the number of stages."},
+	}
+}

@@ -1,0 +1,140 @@
+package llm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// exp1 is a local alias to keep sampling helpers dependency-free.
+func exp1(x float64) float64 { return math.Exp(x) }
+
+// Document is one pre-training sample (collected corpus or NetlistTuple).
+type Document struct {
+	Title string
+	Text  string
+}
+
+// QA is one fine-tuning sample (DesignQA or instruction data).
+type QA struct {
+	Question string
+	Answer   string
+}
+
+// Dataset mirrors the two-split structure of Table 1.
+type Dataset struct {
+	Pretrain []Document
+	Finetune []QA
+}
+
+// TrainConfig controls the simulated two-phase training pipeline.
+type TrainConfig struct {
+	Checkpoints int     // held-out evaluations per phase (loss-curve points)
+	HoldoutFrac float64 // fraction of data held out for evaluation
+	Seed        int64
+	Temperature float64 // operating temperature of the resulting model
+}
+
+// DefaultTrainConfig matches the reproduction's standard settings.
+func DefaultTrainConfig(seed int64) TrainConfig {
+	return TrainConfig{Checkpoints: 8, HoldoutFrac: 0.1, Seed: seed, Temperature: 0.22}
+}
+
+// PhaseReport records one training phase (DAPT or SFT).
+type PhaseReport struct {
+	Phase     string
+	Samples   int
+	Tokens    int
+	LossCurve []float64 // held-out cross-entropy (nats/token) per checkpoint
+}
+
+// Improved reports whether the held-out loss decreased over the phase.
+func (p PhaseReport) Improved() bool {
+	n := len(p.LossCurve)
+	return n >= 2 && p.LossCurve[n-1] < p.LossCurve[0]
+}
+
+// TrainReport summarises the full pipeline.
+type TrainReport struct {
+	DAPT  PhaseReport
+	SFT   PhaseReport
+	Vocab int
+}
+
+// Train runs the simulated two-step pipeline of §3.4: domain-adaptive
+// pre-training on the corpus, then supervised fine-tuning on the QA data.
+// The bigram language model is genuinely fitted (held-out cross-entropy
+// falls), and the fine-tuning QA pairs are compiled into retrieval
+// knowledge, so training measurably changes the model's behaviour.
+func Train(ds Dataset, cfg TrainConfig) (*DomainModel, *TrainReport, error) {
+	if len(ds.Pretrain) == 0 {
+		return nil, nil, fmt.Errorf("llm: empty pre-training dataset")
+	}
+	if cfg.Checkpoints < 1 {
+		cfg.Checkpoints = 1
+	}
+	if cfg.HoldoutFrac <= 0 || cfg.HoldoutFrac >= 0.5 {
+		cfg.HoldoutFrac = 0.1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tok := NewTokenizer()
+	lm := NewBigram()
+	report := &TrainReport{}
+
+	// --- Phase 1: DAPT ---
+	docs := append([]Document(nil), ds.Pretrain...)
+	rng.Shuffle(len(docs), func(i, j int) { docs[i], docs[j] = docs[j], docs[i] })
+	nHold := int(float64(len(docs)) * cfg.HoldoutFrac)
+	if nHold < 1 {
+		nHold = 1
+	}
+	holdout := docs[:nHold]
+	train := docs[nHold:]
+	if len(train) == 0 {
+		return nil, nil, fmt.Errorf("llm: pre-training dataset too small for holdout")
+	}
+	var holdText strings.Builder
+	for _, d := range holdout {
+		holdText.WriteString(d.Text)
+		holdText.WriteByte('\n')
+	}
+	dapt := PhaseReport{Phase: "DAPT", Samples: len(train)}
+	chunk := (len(train) + cfg.Checkpoints - 1) / cfg.Checkpoints
+	for i, d := range train {
+		lm.Observe(d.Text)
+		dapt.Tokens += tok.Count(d.Text)
+		if (i+1)%chunk == 0 || i == len(train)-1 {
+			dapt.LossCurve = append(dapt.LossCurve, lm.CrossEntropy(holdText.String()))
+		}
+	}
+	report.DAPT = dapt
+
+	// --- Phase 2: SFT ---
+	sft := PhaseReport{Phase: "SFT", Samples: len(ds.Finetune)}
+	qaCards := make([]Card, 0, len(ds.Finetune))
+	if len(ds.Finetune) > 0 {
+		chunk = (len(ds.Finetune) + cfg.Checkpoints - 1) / cfg.Checkpoints
+		for i, qa := range ds.Finetune {
+			text := qa.Question + "\n" + qa.Answer
+			lm.Observe(text)
+			sft.Tokens += tok.Count(text)
+			qaCards = append(qaCards, Card{
+				ID:       fmt.Sprintf("qa-%04d", i),
+				Topic:    "qa",
+				Body:     qa.Answer,
+				Keywords: Words(qa.Question),
+			})
+			if (i+1)%chunk == 0 || i == len(ds.Finetune)-1 {
+				sft.LossCurve = append(sft.LossCurve, lm.CrossEntropy(holdText.String()))
+			}
+		}
+	}
+	report.SFT = sft
+	report.Vocab = lm.VocabSize()
+
+	model := NewDomainModel(cfg.Seed, cfg.Temperature)
+	model.ix = NewIndex(append(DomainCards(), qaCards...))
+	model.lm = lm
+	return model, report, nil
+}

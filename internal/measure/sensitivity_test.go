@@ -1,0 +1,70 @@
+package measure
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"artisan/internal/netlist"
+)
+
+// The textbook identities: GBW = gm1/(2π·Cm1) means S(GBW, gm1) ≈ +1 and
+// S(GBW, Cm1) ≈ −1, while far-away elements barely matter.
+func TestSensitivitiesMatchMillerTheory(t *testing.T) {
+	rep, err := Sensitivities(buildNMC(), "out", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm1, ok := rep.ByDevice("Gm1")
+	if !ok {
+		t.Fatal("Gm1 row missing")
+	}
+	// The textbook value is exactly ±1; the non-dominant complex pair
+	// near 2.9 MHz bends the magnitude slope at crossover, so the
+	// measured sensitivity runs ~15% hot.
+	if math.Abs(gm1.GBW-1) > 0.25 {
+		t.Errorf("S(GBW, gm1) = %g, want ≈ +1", gm1.GBW)
+	}
+	cm1, _ := rep.ByDevice("Cm1")
+	if math.Abs(cm1.GBW+1) > 0.25 {
+		t.Errorf("S(GBW, Cm1) = %g, want ≈ −1", cm1.GBW)
+	}
+	// DC gain follows Ro1 (dB per e-fold = 20/ln(10) ≈ 8.69 for a
+	// proportional element).
+	ro1, _ := rep.ByDevice("Ro1")
+	if math.Abs(ro1.Gain-8.69) > 0.5 {
+		t.Errorf("dGain/dln(Ro1) = %g dB, want ≈ 8.69", ro1.Gain)
+	}
+	// The load resistor barely touches GBW.
+	rl, _ := rep.ByDevice("RL")
+	if math.Abs(rl.GBW) > 0.1 {
+		t.Errorf("S(GBW, RL) = %g, want ≈ 0", rl.GBW)
+	}
+	// gm3 buys phase margin (it pushes the output pole out).
+	gm3, _ := rep.ByDevice("Gm3")
+	if gm3.PM <= 0 {
+		t.Errorf("dPM/dln(gm3) = %g, want positive", gm3.PM)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "S(GBW)") || !strings.Contains(s, "Gm1") {
+		t.Error("table malformed")
+	}
+}
+
+func TestSensitivitiesErrors(t *testing.T) {
+	// Sub-unity-gain circuit: no GBW, sensitivities undefined.
+	nl := netlist.New("attenuator")
+	nl.AddV("V1", "in", "0", 1)
+	nl.AddR("R1", "in", "out", 9e3)
+	nl.AddR("R2", "out", "0", 1e3)
+	nl.AddC("C1", "out", "0", 1e-12)
+	if _, err := Sensitivities(nl, "out", 0.05); err == nil {
+		t.Error("attenuator accepted")
+	}
+	if _, err := Sensitivities(buildNMC(), "nonode", 0); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, ok := (SensitivityReport{}).ByDevice("x"); ok {
+		t.Error("empty report found a device")
+	}
+}

@@ -1,0 +1,158 @@
+package measure
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"artisan/internal/mna"
+	"artisan/internal/units"
+)
+
+func TestUnityFeedback(t *testing.T) {
+	nl := buildNMC()
+	fb, err := UnityFeedback(nl, "Gm1", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fb.Find("Gm1")
+	if d.Nodes[2] != "out" || d.Nodes[3] != "in" {
+		t.Errorf("ctrl = (%q, %q), want (out, in)", d.Nodes[2], d.Nodes[3])
+	}
+	// Original untouched.
+	if nl.Find("Gm1").Nodes[2] != "in" {
+		t.Error("UnityFeedback mutated the input netlist")
+	}
+	if _, err := UnityFeedback(nl, "nope", "out"); err == nil {
+		t.Error("missing stage accepted")
+	}
+	if _, err := UnityFeedback(nl, "Ro1", "out"); err == nil {
+		t.Error("non-VCCS stage accepted")
+	}
+}
+
+func TestSatLimits(t *testing.T) {
+	nl := buildNMC()
+	pm := DefaultPowerModel()
+	lims := SatLimits(nl, pm)
+	if len(lims) != 3 {
+		t.Fatalf("got %d limits, want 3", len(lims))
+	}
+	// Input stage: 2 × Id1; others 1 × Id.
+	if !units.ApproxEqual(lims["Gm1"], 2*25.13e-6/16, 1e-9) {
+		t.Errorf("Gm1 limit = %g", lims["Gm1"])
+	}
+	if !units.ApproxEqual(lims["Gm3"], 251.3e-6/16, 1e-9) {
+		t.Errorf("Gm3 limit = %g", lims["Gm3"])
+	}
+}
+
+func TestStepAnalyzeSmallSignal(t *testing.T) {
+	// Small linear step on the NMC buffer: output settles to the step
+	// voltage (unity feedback), no slew limiting.
+	nl := buildNMC()
+	opts := DefaultStepOpts()
+	opts.StepV = 1e-3
+	opts.Linear = true
+	rep, err := StepAnalyze(nl, "out", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !units.ApproxEqual(rep.Final, 1e-3, 0.02) {
+		t.Errorf("final = %g, want 1 mV", rep.Final)
+	}
+	if rep.Settle1 <= 0 {
+		t.Error("did not settle inside the window")
+	}
+	// PM ≈ 56°: modest overshoot expected, below 25%.
+	if rep.Overshoot < 0.01 || rep.Overshoot > 0.3 {
+		t.Errorf("overshoot = %g", rep.Overshoot)
+	}
+	if !strings.Contains(rep.String(), "SR=") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestStepAnalyzeSlewLimited(t *testing.T) {
+	nl := buildNMC()
+	// Large step with saturation: slew rate bounded by the smallest
+	// internal current limit against its node capacitance; for NMC the
+	// classic bound is Itail/Cm1 = 2·Id1/Cm1.
+	opts := DefaultStepOpts()
+	opts.StepV = 0.5
+	rep, err := StepAnalyze(nl, "out", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itail := 2 * 25.13e-6 / 16
+	bound := itail / 4e-12 // ≈ 0.79 V/µs
+	if rep.SlewRate > 1.5*bound {
+		t.Errorf("slew %g exceeds the Itail/Cm1 bound %g", rep.SlewRate, bound)
+	}
+	if rep.SlewRate < bound/10 {
+		t.Errorf("slew %g implausibly small vs bound %g", rep.SlewRate, bound)
+	}
+	// The linear (no-saturation) step must be faster.
+	lin := opts
+	lin.Linear = true
+	lrep, err := StepAnalyze(nl, "out", lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.SlewRate <= rep.SlewRate {
+		t.Errorf("linear SR %g should exceed saturated SR %g", lrep.SlewRate, rep.SlewRate)
+	}
+}
+
+func TestStepAnalyzeErrors(t *testing.T) {
+	nl := buildNMC()
+	opts := DefaultStepOpts()
+	opts.StepV = 0
+	if _, err := StepAnalyze(nl, "out", opts); err == nil {
+		t.Error("zero step accepted")
+	}
+	noVin := buildNMC()
+	noVin.Remove("Vin")
+	noVin.AddI("Iin", "0", "in", 1) // keep node driven but no Vin
+	opts = DefaultStepOpts()
+	if _, err := StepAnalyze(noVin, "out", opts); err == nil {
+		t.Error("netlist without Vin accepted")
+	}
+}
+
+func TestFoMLarge(t *testing.T) {
+	// SR = 1 V/µs, CL = 10 pF, P = 50 µW → FoM_L = 1·10/0.05 = 200.
+	f := FoMLarge(1e6, 10e-12, 50e-6)
+	if !units.ApproxEqual(f, 200, 1e-9) {
+		t.Errorf("FoMLarge = %g", f)
+	}
+	if FoMLarge(1e6, 1e-12, 0) != 0 {
+		t.Error("zero power should yield 0")
+	}
+}
+
+func TestStepMetricsEdge(t *testing.T) {
+	// Degenerate waveforms don't panic.
+	if r := stepMetrics(nil, 1); r.SlewRate != 0 {
+		t.Error("empty waveform")
+	}
+	// Monotone ramp to 1 with no overshoot.
+	pts2 := makeRamp(100)
+	r := stepMetrics(pts2, 1)
+	if r.Overshoot > 0.02 {
+		t.Errorf("ramp overshoot = %g", r.Overshoot)
+	}
+	if math.Abs(r.Final-1) > 0.02 {
+		t.Errorf("ramp final = %g", r.Final)
+	}
+}
+
+func makeRamp(n int) []mna.TranPoint {
+	pts := make([]mna.TranPoint, n)
+	for i := range pts {
+		t := float64(i) / float64(n-1)
+		v := 1 - math.Exp(-6*t)
+		pts[i] = mna.TranPoint{T: t, V: v}
+	}
+	return pts
+}

@@ -1,0 +1,52 @@
+package mna
+
+import (
+	"fmt"
+	"math"
+)
+
+// TFPoint is one point of a swept transfer function.
+type TFPoint struct {
+	Freq float64    // Hz
+	H    complex128 // V(out) per unit excitation
+}
+
+// Sweep computes the transfer function V(out) over a logarithmic frequency
+// sweep from fStart to fStop (Hz) with the given points per decade. The
+// excitation is the netlist's independent sources (normally a single 1 V
+// AC source), so H is V(out) directly.
+func (c *Circuit) Sweep(out string, fStart, fStop float64, perDecade int) ([]TFPoint, error) {
+	if fStart <= 0 || fStop <= fStart {
+		return nil, fmt.Errorf("mna: bad sweep range [%g, %g]", fStart, fStop)
+	}
+	if perDecade < 1 {
+		return nil, fmt.Errorf("mna: perDecade must be >= 1")
+	}
+	j, err := c.NodeIndex(out)
+	if err != nil {
+		return nil, err
+	}
+	decades := math.Log10(fStop / fStart)
+	n := int(math.Ceil(decades*float64(perDecade))) + 1
+	pts := make([]TFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		f := fStart * math.Pow(10, float64(i)/float64(perDecade))
+		if f > fStop {
+			f = fStop
+		}
+		x, err := c.SolveAt(Omega(f))
+		if err != nil {
+			return nil, fmt.Errorf("mna: sweep at %g Hz: %w", f, err)
+		}
+		pts = append(pts, TFPoint{Freq: f, H: x[j]})
+		if f == fStop {
+			break
+		}
+	}
+	return pts, nil
+}
+
+// TFAt returns V(out) at one frequency in Hz.
+func (c *Circuit) TFAt(out string, freqHz float64) (complex128, error) {
+	return c.VoltageAt(out, Omega(freqHz))
+}

@@ -1,0 +1,212 @@
+package mna
+
+import (
+	"fmt"
+	"math"
+
+	"artisan/internal/netlist"
+)
+
+// Circuit is a netlist compiled for MNA analysis: a node index, the
+// frequency-independent conductance matrix G, the susceptance matrix C
+// (A(s) = G + sC), and the excitation vector b.
+type Circuit struct {
+	nl       *netlist.Netlist
+	nodeIdx  map[string]int // non-ground nodes → 0..nn-1
+	nodes    []string       // inverse of nodeIdx
+	nn       int            // node unknowns
+	nb       int            // branch-current unknowns (V and E elements)
+	G, C     *Matrix
+	b        []complex128
+	branches map[string]int // source name → branch row
+}
+
+// Compile validates and compiles a netlist. Exactly the devices supported
+// by the netlist package are accepted.
+func Compile(nl *netlist.Netlist) (*Circuit, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("mna: %w", err)
+	}
+	c := &Circuit{nl: nl, nodeIdx: map[string]int{}, branches: map[string]int{}}
+	for _, nd := range nl.NonGroundNodes() {
+		c.nodeIdx[nd] = c.nn
+		c.nodes = append(c.nodes, nd)
+		c.nn++
+	}
+	for _, d := range nl.Devices {
+		if d.Kind == netlist.VSource || d.Kind == netlist.VCVS {
+			c.branches[d.Name] = c.nn + c.nb
+			c.nb++
+		}
+	}
+	n := c.nn + c.nb
+	if n == 0 {
+		return nil, fmt.Errorf("mna: empty circuit")
+	}
+	c.G = NewMatrix(n)
+	c.C = NewMatrix(n)
+	c.b = make([]complex128, n)
+
+	// idx returns the matrix row/column of a node, or -1 for ground.
+	idx := func(node string) int {
+		if node == netlist.Ground {
+			return -1
+		}
+		return c.nodeIdx[node]
+	}
+	stamp2 := func(m *Matrix, a, bn int, g complex128) {
+		if a >= 0 {
+			m.Add(a, a, g)
+		}
+		if bn >= 0 {
+			m.Add(bn, bn, g)
+		}
+		if a >= 0 && bn >= 0 {
+			m.Add(a, bn, -g)
+			m.Add(bn, a, -g)
+		}
+	}
+	stampVCCS := func(m *Matrix, op, om, cp, cm int, gm complex128) {
+		add := func(r, cl int, v complex128) {
+			if r >= 0 && cl >= 0 {
+				m.Add(r, cl, v)
+			}
+		}
+		add(op, cp, gm)
+		add(op, cm, -gm)
+		add(om, cp, -gm)
+		add(om, cm, gm)
+	}
+
+	for _, d := range nl.Devices {
+		switch d.Kind {
+		case netlist.Resistor:
+			stamp2(c.G, idx(d.Nodes[0]), idx(d.Nodes[1]), complex(1/d.Value, 0))
+		case netlist.Capacitor:
+			stamp2(c.C, idx(d.Nodes[0]), idx(d.Nodes[1]), complex(d.Value, 0))
+		case netlist.VCCS:
+			stampVCCS(c.G, idx(d.Nodes[0]), idx(d.Nodes[1]), idx(d.Nodes[2]), idx(d.Nodes[3]), complex(d.Value, 0))
+		case netlist.VSource:
+			k := c.branches[d.Name]
+			p, m := idx(d.Nodes[0]), idx(d.Nodes[1])
+			if p >= 0 {
+				c.G.Add(p, k, 1)
+				c.G.Add(k, p, 1)
+			}
+			if m >= 0 {
+				c.G.Add(m, k, -1)
+				c.G.Add(k, m, -1)
+			}
+			c.b[k] = complex(d.Value, 0)
+		case netlist.VCVS:
+			k := c.branches[d.Name]
+			p, m := idx(d.Nodes[0]), idx(d.Nodes[1])
+			cp, cm := idx(d.Nodes[2]), idx(d.Nodes[3])
+			if p >= 0 {
+				c.G.Add(p, k, 1)
+				c.G.Add(k, p, 1)
+			}
+			if m >= 0 {
+				c.G.Add(m, k, -1)
+				c.G.Add(k, m, -1)
+			}
+			if cp >= 0 {
+				c.G.Add(k, cp, -complex(d.Value, 0))
+			}
+			if cm >= 0 {
+				c.G.Add(k, cm, complex(d.Value, 0))
+			}
+		case netlist.ISource:
+			p, m := idx(d.Nodes[0]), idx(d.Nodes[1])
+			// Current d.Value flows from node p through the source into
+			// node m: it leaves the external circuit at p.
+			if p >= 0 {
+				c.b[p] -= complex(d.Value, 0)
+			}
+			if m >= 0 {
+				c.b[m] += complex(d.Value, 0)
+			}
+		default:
+			return nil, fmt.Errorf("mna: unsupported device kind %v", d.Kind)
+		}
+	}
+	return c, nil
+}
+
+// Size returns the total number of MNA unknowns.
+func (c *Circuit) Size() int { return c.nn + c.nb }
+
+// NodeNames returns non-ground node names in matrix order.
+func (c *Circuit) NodeNames() []string { return append([]string(nil), c.nodes...) }
+
+// NodeIndex returns the matrix index of a node name.
+func (c *Circuit) NodeIndex(node string) (int, error) {
+	if node == netlist.Ground {
+		return -1, fmt.Errorf("mna: ground node has no index")
+	}
+	i, ok := c.nodeIdx[node]
+	if !ok {
+		return -1, fmt.Errorf("mna: unknown node %q", node)
+	}
+	return i, nil
+}
+
+// system assembles A(s) = G + sC.
+func (c *Circuit) system(s complex128) *Matrix {
+	a := NewMatrix(c.Size())
+	a.AddScaled(c.G, c.C, s)
+	return a
+}
+
+// SolveAt solves the MNA system at complex frequency s and returns the
+// full unknown vector (node voltages then branch currents).
+func (c *Circuit) SolveAt(s complex128) ([]complex128, error) {
+	lu := Factor(c.system(s))
+	x, err := lu.Solve(c.b)
+	if err != nil {
+		return nil, fmt.Errorf("mna: solve at s=%v: %w", s, err)
+	}
+	return x, nil
+}
+
+// VoltageAt solves at s and returns the voltage of one node.
+func (c *Circuit) VoltageAt(node string, s complex128) (complex128, error) {
+	if node == netlist.Ground {
+		return 0, nil
+	}
+	i, err := c.NodeIndex(node)
+	if err != nil {
+		return 0, err
+	}
+	x, err := c.SolveAt(s)
+	if err != nil {
+		return 0, err
+	}
+	return x[i], nil
+}
+
+// DetAt returns det(G + sC) in scaled form.
+func (c *Circuit) DetAt(s complex128) ScaledDet {
+	return Det(c.system(s))
+}
+
+// NumerDetAt returns the Cramer numerator determinant for the given output
+// node: det of A(s) with the output column replaced by the excitation b.
+// Zeros of the transfer function V(out)/excitation are the roots of this
+// polynomial in s.
+func (c *Circuit) NumerDetAt(node string, s complex128) (ScaledDet, error) {
+	j, err := c.NodeIndex(node)
+	if err != nil {
+		return ScaledDet{}, err
+	}
+	a := c.system(s)
+	for i := 0; i < a.N; i++ {
+		a.Set(i, j, c.b[i])
+	}
+	return Det(a), nil
+}
+
+// Omega converts a frequency in Hz to the Laplace variable jω.
+func Omega(freqHz float64) complex128 {
+	return complex(0, 2*math.Pi*freqHz)
+}

@@ -1,0 +1,191 @@
+// Package mna implements small-signal AC analysis of linear circuits by
+// Modified Nodal Analysis over complex arithmetic. It is the in-repo
+// replacement for the Cadence Spectre AC analyses the paper relies on
+// (§4.1.3): it stamps R, C, VCCS, VCVS, V and I elements into
+// A(s) = G + sC, solves A(jω)x = b across a frequency sweep, and extracts
+// poles and zeros as the roots of det A(s) and of the Cramer numerator,
+// using scaled LU determinants and Aberth–Ehrlich simultaneous iteration.
+package mna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix is a dense complex matrix.
+type Matrix struct {
+	N    int
+	data []complex128
+}
+
+// NewMatrix returns an N×N zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, data: make([]complex128, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.data[i*m.N+j] = v }
+
+// Add accumulates into element (i, j).
+func (m *Matrix) Add(i, j int, v complex128) { m.data[i*m.N+j] += v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.data, m.data)
+	return c
+}
+
+// AddScaled sets m = a + s·b elementwise (a, b, m must have equal size).
+func (m *Matrix) AddScaled(a, b *Matrix, s complex128) {
+	for i := range m.data {
+		m.data[i] = a.data[i] + s*b.data[i]
+	}
+}
+
+// ScaledDet is a complex determinant held as mant·2^exp with |mant| kept
+// near 1, so products of many pivots can neither overflow nor underflow.
+type ScaledDet struct {
+	Mant complex128
+	Exp  int
+}
+
+// Zero reports whether the determinant is exactly zero.
+func (d ScaledDet) Zero() bool { return d.Mant == 0 }
+
+// Ratio returns d/e as a plain complex128 (used for Newton steps where the
+// exponents nearly cancel).
+func (d ScaledDet) Ratio(e ScaledDet) complex128 {
+	if e.Zero() {
+		return cmplx.Inf()
+	}
+	return d.Mant / e.Mant * complex(math.Pow(2, float64(d.Exp-e.Exp)), 0)
+}
+
+// Log10Mag returns log10|d|.
+func (d ScaledDet) Log10Mag() float64 {
+	if d.Zero() {
+		return math.Inf(-1)
+	}
+	return math.Log10(cmplx.Abs(d.Mant)) + float64(d.Exp)*math.Log10(2)
+}
+
+func normalizeDet(m complex128, e int) (complex128, int) {
+	a := cmplx.Abs(m)
+	if a == 0 {
+		return 0, 0
+	}
+	_, ex := math.Frexp(a)
+	return m * complex(math.Pow(2, float64(-ex)), 0), e + ex
+}
+
+// LU holds an in-place LU factorization with partial pivoting.
+type LU struct {
+	m     *Matrix
+	pivot []int
+	sign  int
+	ok    bool
+}
+
+// Factor computes the LU factorization of a copy of a. Singular (to working
+// precision) matrices are flagged; Solve will then fail but Det returns a
+// (possibly zero) determinant.
+func Factor(a *Matrix) *LU {
+	n := a.N
+	lu := &LU{m: a.Clone(), pivot: make([]int, n), sign: 1, ok: true}
+	m := lu.m
+	for k := 0; k < n; k++ {
+		// partial pivot
+		p, best := k, cmplx.Abs(m.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(m.At(i, k)); v > best {
+				p, best = i, v
+			}
+		}
+		lu.pivot[k] = p
+		if p != k {
+			for j := 0; j < n; j++ {
+				vk, vp := m.At(k, j), m.At(p, j)
+				m.Set(k, j, vp)
+				m.Set(p, j, vk)
+			}
+			lu.sign = -lu.sign
+		}
+		pv := m.At(k, k)
+		if pv == 0 {
+			lu.ok = false
+			continue
+		}
+		for i := k + 1; i < n; i++ {
+			f := m.At(i, k) / pv
+			m.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				m.Add(i, j, -f*m.At(k, j))
+			}
+		}
+	}
+	return lu
+}
+
+// OK reports whether the factorization succeeded (matrix nonsingular).
+func (lu *LU) OK() bool { return lu.ok }
+
+// Det returns the determinant in scaled form.
+func (lu *LU) Det() ScaledDet {
+	mant := complex(float64(lu.sign), 0)
+	exp := 0
+	for k := 0; k < lu.m.N; k++ {
+		mant *= lu.m.At(k, k)
+		mant, exp = normalizeDet(mant, exp)
+		if mant == 0 {
+			return ScaledDet{}
+		}
+	}
+	return ScaledDet{mant, exp}
+}
+
+// Solve computes x solving Ax = b (b is not modified).
+func (lu *LU) Solve(b []complex128) ([]complex128, error) {
+	if !lu.ok {
+		return nil, fmt.Errorf("mna: singular matrix")
+	}
+	n := lu.m.N
+	if len(b) != n {
+		return nil, fmt.Errorf("mna: rhs length %d, want %d", len(b), n)
+	}
+	x := append([]complex128(nil), b...)
+	// apply pivots
+	for k := 0; k < n; k++ {
+		p := lu.pivot[k]
+		if p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// forward substitution (L has unit diagonal)
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= lu.m.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// back substitution
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu.m.At(i, j) * x[j]
+		}
+		x[i] = s / lu.m.At(i, i)
+	}
+	return x, nil
+}
+
+// Det computes det(a) directly.
+func Det(a *Matrix) ScaledDet { return Factor(a).Det() }

@@ -1,0 +1,187 @@
+package mna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// detFunc evaluates a determinant-valued analytic function of s (the MNA
+// characteristic determinant or a Cramer numerator). Such functions are
+// polynomials in s with real coefficients of modest degree, but are far
+// better conditioned when evaluated through the LU determinant than through
+// interpolated monomial coefficients, so the root finder works on direct
+// evaluations.
+type detFunc func(s complex128) ScaledDet
+
+const (
+	// Radii (rad/s) used to probe the asymptotic slope of log|D|; chosen
+	// beyond any physically plausible pole of a behavioral opamp
+	// (parasitic poles top out near 1e13 rad/s).
+	degreeProbeR1 = 1e16
+	degreeProbeR2 = 1e17
+	maxPolyDegree = 64
+)
+
+// polyDegree estimates deg D by the slope of log10|D| between two radii far
+// outside the root cluster: for |s| ≫ all roots, |D(s)| ≈ |a_d|·|s|^d.
+// Several probe angles are averaged for robustness.
+func polyDegree(f detFunc) (int, error) {
+	angles := []float64{0.41, 1.73, 2.9}
+	slope := 0.0
+	used := 0
+	for _, th := range angles {
+		d1 := f(cmplx.Rect(degreeProbeR1, th))
+		d2 := f(cmplx.Rect(degreeProbeR2, th))
+		if d1.Zero() || d2.Zero() {
+			continue
+		}
+		slope += d2.Log10Mag() - d1.Log10Mag()
+		used++
+	}
+	if used == 0 {
+		return 0, fmt.Errorf("mna: determinant vanishes at probe radii (identically zero?)")
+	}
+	d := int(math.Round(slope / float64(used)))
+	if d < 0 {
+		d = 0
+	}
+	if d > maxPolyDegree {
+		return 0, fmt.Errorf("mna: implausible polynomial degree %d", d)
+	}
+	return d, nil
+}
+
+// newtonRatio computes D(s)/D'(s) with a central-difference derivative.
+func newtonRatio(f detFunc, s complex128) complex128 {
+	h := 1e-6 * (cmplx.Abs(s) + 1)
+	d := f(s)
+	if d.Zero() {
+		return 0
+	}
+	dp := f(s + complex(h, 0))
+	dm := f(s - complex(h, 0))
+	// D'(s) ≈ (D+ − D−)/(2h). Work in a common scale: express both
+	// relative to d's exponent to avoid overflow.
+	rp := dp.Ratio(d)                    // D+/D
+	rm := dm.Ratio(d)                    // D−/D
+	deriv := (rp - rm) / complex(2*h, 0) // D'/D
+	if deriv == 0 || cmplx.IsInf(deriv) || cmplx.IsNaN(deriv) {
+		return 0
+	}
+	return 1 / deriv // D/D'
+}
+
+// aberth runs Aberth–Ehrlich simultaneous iteration for all deg roots of f.
+func aberth(f detFunc, deg int) ([]complex128, error) {
+	if deg == 0 {
+		return nil, nil
+	}
+	// Initial guesses: log-spaced radii over the plausible root range,
+	// angles fanned across both half planes (poles live in the LHP but
+	// zeros of opamp transfer functions are often in the RHP).
+	roots := make([]complex128, deg)
+	for i := range roots {
+		t := float64(i) / float64(max(deg-1, 1))
+		r := math.Pow(10, 2+10*t)       // 1e2 … 1e12 rad/s
+		ang := math.Pi * (0.35 + 0.5*t) // fan from RHP-ish to LHP
+		if i%2 == 1 {
+			ang = -ang
+		}
+		roots[i] = cmplx.Rect(r, ang)
+	}
+	const maxIter = 400
+	const tol = 1e-10
+	for iter := 0; iter < maxIter; iter++ {
+		maxStep := 0.0
+		for i := range roots {
+			ni := newtonRatio(f, roots[i])
+			if ni == 0 {
+				continue // already on a root (or derivative degenerate)
+			}
+			sum := complex(0, 0)
+			for j := range roots {
+				if j != i {
+					d := roots[i] - roots[j]
+					if d == 0 {
+						d = complex(1e-30, 1e-30)
+					}
+					sum += 1 / d
+				}
+			}
+			den := 1 - ni*sum
+			if den == 0 {
+				continue
+			}
+			w := ni / den
+			roots[i] -= w
+			rel := cmplx.Abs(w) / (cmplx.Abs(roots[i]) + 1e-3)
+			if rel > maxStep {
+				maxStep = rel
+			}
+		}
+		if maxStep < tol {
+			break
+		}
+	}
+	// Enforce conjugate symmetry: D has real coefficients, so roots with
+	// tiny imaginary parts are real.
+	for i, r := range roots {
+		if math.Abs(imag(r)) < 1e-9*(math.Abs(real(r))+1) {
+			roots[i] = complex(real(r), 0)
+		}
+	}
+	sortRoots(roots)
+	return roots, nil
+}
+
+func sortRoots(rs []complex128) {
+	sort.Slice(rs, func(i, j int) bool {
+		ai, aj := cmplx.Abs(rs[i]), cmplx.Abs(rs[j])
+		if ai != aj {
+			return ai < aj
+		}
+		return imag(rs[i]) < imag(rs[j])
+	})
+}
+
+// Poles returns the natural frequencies of the circuit: the roots of
+// det(G + sC) in rad/s, sorted by magnitude. The excitation sources are
+// part of the system (a voltage source pins its node), matching what a
+// simulator's pz analysis reports for the driven network.
+func (c *Circuit) Poles() ([]complex128, error) {
+	f := func(s complex128) ScaledDet { return c.DetAt(s) }
+	deg, err := polyDegree(f)
+	if err != nil {
+		return nil, err
+	}
+	return aberth(f, deg)
+}
+
+// Zeros returns the transmission zeros of V(out)/excitation in rad/s: the
+// roots of the Cramer numerator determinant.
+func (c *Circuit) Zeros(out string) ([]complex128, error) {
+	if _, err := c.NodeIndex(out); err != nil {
+		return nil, err
+	}
+	f := func(s complex128) ScaledDet {
+		d, err := c.NumerDetAt(out, s)
+		if err != nil {
+			return ScaledDet{}
+		}
+		return d
+	}
+	deg, err := polyDegree(f)
+	if err != nil {
+		return nil, err
+	}
+	return aberth(f, deg)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,346 @@
+package mna
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transient analysis: trapezoidal integration of the MNA DAE
+// C·x'(t) + G·x(t) = b·u(t), with optional saturating transconductors.
+//
+// The AC model of Fig. 1(b) is linear, but slewing — the limit the
+// classical large-signal figure of merit measures — is a *nonlinear*
+// phenomenon: a real transconductance stage can deliver at most its bias
+// current. SatLimits models this by replacing selected VCCS elements'
+// i = gm·v characteristic with the smooth saturating
+// i = Imax·tanh(gm·v/Imax), solved by Newton iteration at each timestep.
+
+// TranOpts configures a transient run.
+type TranOpts struct {
+	TEnd float64 // end time, s
+	Dt   float64 // fixed timestep, s
+	// Input is the excitation waveform u(t) scaling the netlist's
+	// independent sources; nil means unit step u(t) = 1 for t ≥ 0.
+	Input func(t float64) float64
+	// SatLimits maps VCCS device names to their maximum output current
+	// (A). Devices not listed stay linear.
+	SatLimits map[string]float64
+	// MaxNewton bounds the Newton iterations per step (default 25).
+	MaxNewton int
+	// Tol is the Newton convergence tolerance on the solution update
+	// (default 1e-9 relative).
+	Tol float64
+}
+
+// TranPoint is one sample of the transient waveform.
+type TranPoint struct {
+	T float64
+	V float64 // voltage of the observed node
+}
+
+// vccsInfo caches a saturating transconductor's stamp geometry.
+type vccsInfo struct {
+	name           string
+	op, om, cp, cm int // matrix indices, -1 for ground
+	gm             float64
+	imax           float64
+}
+
+// Transient integrates the circuit and returns the waveform of node out.
+func (c *Circuit) Transient(out string, opts TranOpts) ([]TranPoint, error) {
+	j, err := c.NodeIndex(out)
+	if err != nil {
+		return nil, err
+	}
+	if opts.TEnd <= 0 || opts.Dt <= 0 || opts.Dt > opts.TEnd {
+		return nil, fmt.Errorf("mna: bad transient window tEnd=%g dt=%g", opts.TEnd, opts.Dt)
+	}
+	if opts.Input == nil {
+		opts.Input = func(t float64) float64 { return 1 }
+	}
+	if opts.MaxNewton <= 0 {
+		opts.MaxNewton = 25
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-9
+	}
+
+	sats, err := c.satDevices(opts.SatLimits)
+	if err != nil {
+		return nil, err
+	}
+
+	n := c.Size()
+	h := opts.Dt
+	// Linear part: remove saturating VCCS stamps from G (they are applied
+	// nonlinearly instead).
+	gLin := c.G.Clone()
+	for _, s := range sats {
+		stampVCCS4(gLin, s.op, s.om, s.cp, s.cm, complex(-s.gm, 0))
+	}
+
+	// Companion-model trapezoidal form: capacitors integrate with the
+	// trapezoidal rule while algebraic rows (sources, resistive nodes,
+	// where the C row vanishes) stay exact at t_{n+1}:
+	//
+	//   (G + 2C/h)·x_{n+1} + i_sat(x_{n+1})
+	//       = b(t_{n+1}) + (2C/h)·x_n + C·x'_n
+	//
+	// with the derivative term obtained from the previous collocation,
+	// C·x'_n = b(t_n) − G·x_n − i_sat(x_n).
+	aBase := NewMatrix(n)
+	for r := 0; r < n; r++ {
+		for cI := 0; cI < n; cI++ {
+			aBase.Set(r, cI, gLin.At(r, cI)+c.C.At(r, cI)*complex(2/h, 0))
+		}
+	}
+	var luConst *LU
+	if len(sats) == 0 {
+		luConst = Factor(aBase)
+		if !luConst.OK() {
+			return nil, fmt.Errorf("mna: transient system singular at dt=%g", h)
+		}
+	}
+
+	bReal := make([]float64, n)
+	for i, v := range c.b {
+		bReal[i] = real(v)
+	}
+
+	// Consistent initialization at t = 0⁺: capacitor voltages start at
+	// zero but the algebraic variables (source rows, resistive nodes)
+	// must already satisfy their constraints. A single backward-Euler
+	// micro-step from the all-zero state — (G + C/δ)x = b·u(0) with
+	// δ ≪ h — pins the capacitor voltages while solving the algebraic
+	// part exactly.
+	x := make([]float64, n)
+	{
+		delta := h * 1e-9
+		init := NewMatrix(n)
+		for r := 0; r < n; r++ {
+			for cI := 0; cI < n; cI++ {
+				init.Set(r, cI, gLin.At(r, cI)+c.C.At(r, cI)/complex(delta, 0))
+			}
+		}
+		b0 := make([]complex128, n)
+		u0 := opts.Input(0)
+		for i := range b0 {
+			b0[i] = complex(bReal[i]*u0, 0)
+		}
+		if x0, err := Factor(init).Solve(b0); err == nil {
+			x = toReal(x0)
+		}
+	}
+
+	steps := int(math.Ceil(opts.TEnd / h))
+	pts := make([]TranPoint, 0, steps+1)
+	pts = append(pts, TranPoint{0, x[j]})
+	gLinR := realMatrix(gLin)
+	cR := realMatrix(c.C)
+
+	for s := 1; s <= steps; s++ {
+		t0 := float64(s-1) * h
+		t1 := float64(s) * h
+		u0, u1 := opts.Input(t0), opts.Input(t1)
+
+		// cdx = C·x'_n = b(t_n) − G_lin·x_n − i_sat(x_n).
+		cdx := make([]float64, n)
+		for r := 0; r < n; r++ {
+			acc := bReal[r] * u0
+			for cI := 0; cI < n; cI++ {
+				acc -= gLinR[r][cI] * x[cI]
+			}
+			cdx[r] = acc
+		}
+		addSatCurrents(cdx, sats, x, -1)
+
+		// rhs = b(t_{n+1}) + (2C/h)·x_n + C·x'_n, masked to C rows for
+		// the history terms (cdx is already zero on algebraic rows only
+		// if the collocation held; mask explicitly for robustness).
+		rhs := make([]float64, n)
+		for r := 0; r < n; r++ {
+			acc := bReal[r] * u1
+			hasC := false
+			for cI := 0; cI < n; cI++ {
+				if cR[r][cI] != 0 {
+					hasC = true
+					acc += (2 / h) * cR[r][cI] * x[cI]
+				}
+			}
+			if hasC {
+				acc += cdx[r]
+			}
+			rhs[r] = acc
+		}
+
+		xNew := append([]float64(nil), x...)
+		if len(sats) == 0 {
+			xc, err := luConst.Solve(toComplex(rhs))
+			if err != nil {
+				return nil, err
+			}
+			xNew = toReal(xc)
+		} else {
+			// Newton on F(x) = (G_lin + 2C/h)x + i_sat(x) − rhs = 0.
+			converged := false
+			for it := 0; it < opts.MaxNewton; it++ {
+				f := make([]float64, n)
+				for r := 0; r < n; r++ {
+					acc := -rhs[r]
+					for cI := 0; cI < n; cI++ {
+						acc += (gLinR[r][cI] + (2/h)*cR[r][cI]) * xNew[cI]
+					}
+					f[r] = acc
+				}
+				addSatCurrents(f, sats, xNew, 1)
+				// Jacobian = aBase + d i_sat/dx.
+				jac := aBase.Clone()
+				for _, sd := range sats {
+					v := ctrlVoltage(xNew, sd)
+					geff := sd.gm * sech2(sd.gm*v/sd.imax)
+					stampVCCS4(jac, sd.op, sd.om, sd.cp, sd.cm, complex(geff, 0))
+				}
+				lu := Factor(jac)
+				dx, err := lu.Solve(toComplex(negate(f)))
+				if err != nil {
+					return nil, fmt.Errorf("mna: transient Newton singular at t=%g", t1)
+				}
+				maxRel := 0.0
+				for i := range xNew {
+					d := real(dx[i])
+					xNew[i] += d
+					rel := math.Abs(d) / (math.Abs(xNew[i]) + 1e-6)
+					if rel > maxRel {
+						maxRel = rel
+					}
+				}
+				if maxRel < opts.Tol {
+					converged = true
+					break
+				}
+			}
+			if !converged {
+				return nil, fmt.Errorf("mna: transient Newton did not converge at t=%g", t1)
+			}
+		}
+		x = xNew
+		pts = append(pts, TranPoint{t1, x[j]})
+	}
+	return pts, nil
+}
+
+// satDevices resolves SatLimits names to stamp geometry.
+func (c *Circuit) satDevices(limits map[string]float64) ([]vccsInfo, error) {
+	if len(limits) == 0 {
+		return nil, nil
+	}
+	var out []vccsInfo
+	for _, d := range c.nl.Devices {
+		imax, ok := limits[d.Name]
+		if !ok {
+			continue
+		}
+		if d.Kind.String() != "G" {
+			return nil, fmt.Errorf("mna: saturation limit on non-VCCS device %q", d.Name)
+		}
+		if imax <= 0 {
+			return nil, fmt.Errorf("mna: non-positive saturation current for %q", d.Name)
+		}
+		idx := func(node string) int {
+			if node == "0" {
+				return -1
+			}
+			return c.nodeIdx[node]
+		}
+		out = append(out, vccsInfo{
+			name: d.Name,
+			op:   idx(d.Nodes[0]), om: idx(d.Nodes[1]),
+			cp: idx(d.Nodes[2]), cm: idx(d.Nodes[3]),
+			gm: d.Value, imax: imax,
+		})
+	}
+	if len(out) != len(limits) {
+		return nil, fmt.Errorf("mna: some saturation-limited devices not found in circuit")
+	}
+	return out, nil
+}
+
+// stampVCCS4 adds the four-entry VCCS pattern with transconductance g.
+func stampVCCS4(m *Matrix, op, om, cp, cm int, g complex128) {
+	add := func(r, cl int, v complex128) {
+		if r >= 0 && cl >= 0 {
+			m.Add(r, cl, v)
+		}
+	}
+	add(op, cp, g)
+	add(op, cm, -g)
+	add(om, cp, -g)
+	add(om, cm, g)
+}
+
+func ctrlVoltage(x []float64, s vccsInfo) float64 {
+	v := 0.0
+	if s.cp >= 0 {
+		v += x[s.cp]
+	}
+	if s.cm >= 0 {
+		v -= x[s.cm]
+	}
+	return v
+}
+
+// addSatCurrents accumulates w·i_sat(x) into f at the output nodes.
+// Convention matches the linear stamp: current i leaves node op and
+// enters om, i.e. KCL rows get +i at op and −i at om.
+func addSatCurrents(f []float64, sats []vccsInfo, x []float64, w float64) {
+	for _, s := range sats {
+		v := ctrlVoltage(x, s)
+		i := s.imax * math.Tanh(s.gm*v/s.imax)
+		if s.op >= 0 {
+			f[s.op] += w * i
+		}
+		if s.om >= 0 {
+			f[s.om] -= w * i
+		}
+	}
+}
+
+func sech2(x float64) float64 {
+	c := math.Cosh(x)
+	return 1 / (c * c)
+}
+
+func realMatrix(m *Matrix) [][]float64 {
+	out := make([][]float64, m.N)
+	for r := 0; r < m.N; r++ {
+		out[r] = make([]float64, m.N)
+		for cI := 0; cI < m.N; cI++ {
+			out[r][cI] = real(m.At(r, cI))
+		}
+	}
+	return out
+}
+
+func toComplex(v []float64) []complex128 {
+	out := make([]complex128, len(v))
+	for i, x := range v {
+		out[i] = complex(x, 0)
+	}
+	return out
+}
+
+func toReal(v []complex128) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = real(x)
+	}
+	return out
+}
+
+func negate(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = -x
+	}
+	return out
+}

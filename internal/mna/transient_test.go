@@ -1,0 +1,234 @@
+package mna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"artisan/internal/netlist"
+	"artisan/internal/units"
+)
+
+func TestTransientRCStep(t *testing.T) {
+	R, C := 1e3, 1e-6 // τ = 1 ms
+	nl := netlist.New("rc step")
+	nl.AddV("V1", "in", "0", 1)
+	nl.AddR("R1", "in", "out", R)
+	nl.AddC("C1", "out", "0", C)
+	c, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := R * C
+	pts, err := c.Transient("out", TranOpts{TEnd: 5 * tau, Dt: tau / 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		want := 1 - math.Exp(-p.T/tau)
+		if math.Abs(p.V-want) > 2e-3 {
+			t.Fatalf("t=%g: v=%g, want %g", p.T, p.V, want)
+		}
+	}
+	// Endpoint close to 1.
+	if last := pts[len(pts)-1].V; math.Abs(last-0.9933) > 0.01 {
+		t.Errorf("v(5τ) = %g", last)
+	}
+}
+
+// Algebraic rows must not ring: a resistive divider driven by a stepped
+// source holds exactly 0.5 at every timestep (this is the failure mode of
+// naive trapezoidal DAE integration).
+func TestTransientAlgebraicRowsExact(t *testing.T) {
+	nl := netlist.New("divider step")
+	nl.AddV("V1", "in", "0", 1)
+	nl.AddR("R1", "in", "out", 1e3)
+	nl.AddR("R2", "out", "0", 1e3)
+	nl.AddC("Cfar", "far", "0", 1e-12) // a capacitor elsewhere
+	nl.AddR("Rfar", "out", "far", 1e6)
+	c, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := c.Transient("out", TranOpts{TEnd: 1e-6, Dt: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts[1:] {
+		if math.Abs(p.V-0.5) > 1e-3 {
+			t.Fatalf("divider rang at t=%g: v=%g", p.T, p.V)
+		}
+	}
+}
+
+func TestTransientSlewLimiting(t *testing.T) {
+	// Single inverting stage driving CL. Linear response to a large step
+	// would start with slope gm·Vstep/CL; with saturation the slope is
+	// capped at Imax/CL.
+	gm, cl, imax := 1e-3, 10e-12, 5e-6
+	nl := netlist.New("slew stage")
+	nl.AddV("V1", "in", "0", 1) // 1 V step: deep saturation (gm·V = 1 mA ≫ 5 µA)
+	nl.AddG("G1", "out", "0", "in", "0", gm)
+	nl.AddR("Ro", "out", "0", 1e6)
+	nl.AddC("CL", "out", "0", cl)
+	c, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := c.Transient("out", TranOpts{
+		TEnd: 2e-6, Dt: 1e-9,
+		SatLimits: map[string]float64{"G1": imax},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max slope over the first microsecond ≈ Imax/CL = 0.5 V/µs (negative).
+	maxSlope := 0.0
+	for i := 1; i < len(pts); i++ {
+		s := math.Abs(pts[i].V-pts[i-1].V) / (pts[i].T - pts[i-1].T)
+		if s > maxSlope {
+			maxSlope = s
+		}
+	}
+	want := imax / cl
+	if !units.ApproxEqual(maxSlope, want, 0.05) {
+		t.Errorf("slew = %g V/s, want %g", maxSlope, want)
+	}
+	// And the linear run must be much faster initially.
+	lin, err := c.Transient("out", TranOpts{TEnd: 2e-6, Dt: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linSlope := math.Abs(lin[1].V-lin[0].V) / (lin[1].T - lin[0].T)
+	if linSlope < 10*maxSlope {
+		t.Errorf("linear slope %g should dwarf saturated %g", linSlope, maxSlope)
+	}
+}
+
+func TestTransientMatchesACSmallSignal(t *testing.T) {
+	// For a small step the saturating and linear runs agree.
+	nl := netlist.New("small step")
+	nl.AddV("V1", "in", "0", 1e-4)
+	nl.AddG("G1", "0", "out", "in", "0", 1e-3)
+	nl.AddR("Ro", "out", "0", 1e5)
+	nl.AddC("CL", "out", "0", 1e-12)
+	c, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := c.Transient("out", TranOpts{TEnd: 1e-6, Dt: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := c.Transient("out", TranOpts{TEnd: 1e-6, Dt: 1e-9,
+		SatLimits: map[string]float64{"G1": 50e-6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lin {
+		if math.Abs(lin[i].V-sat[i].V) > 1e-6 {
+			t.Fatalf("small-signal mismatch at %d: %g vs %g", i, lin[i].V, sat[i].V)
+		}
+	}
+	// Final value = gm·Ro·Vstep = 10 mV.
+	if f := lin[len(lin)-1].V; !units.ApproxEqual(f, 0.01, 1e-3) {
+		t.Errorf("final = %g, want 0.01", f)
+	}
+}
+
+func TestTransientCustomInput(t *testing.T) {
+	// A ramp input into an RC: output follows with a lag.
+	nl := netlist.New("ramp")
+	nl.AddV("V1", "in", "0", 1)
+	nl.AddR("R1", "in", "out", 1e3)
+	nl.AddC("C1", "out", "0", 1e-9) // τ = 1 µs
+	c, _ := Compile(nl)
+	ramp := func(t float64) float64 { return t / 1e-5 } // reaches 1 at 10 µs
+	pts, err := c.Transient("out", TranOpts{TEnd: 1e-5, Dt: 1e-8, Input: ramp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady-state ramp lag = τ·slope = 0.1; check near the end.
+	last := pts[len(pts)-1]
+	want := ramp(last.T) - 0.1
+	if math.Abs(last.V-want) > 5e-3 {
+		t.Errorf("ramp following: v=%g, want %g", last.V, want)
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	nl := netlist.New("x")
+	nl.AddV("V1", "in", "0", 1)
+	nl.AddR("R1", "in", "out", 1e3)
+	nl.AddC("C1", "out", "0", 1e-9)
+	c, _ := Compile(nl)
+	if _, err := c.Transient("out", TranOpts{TEnd: 0, Dt: 1e-9}); err == nil {
+		t.Error("zero TEnd accepted")
+	}
+	if _, err := c.Transient("out", TranOpts{TEnd: 1e-6, Dt: 1e-5}); err == nil {
+		t.Error("dt > TEnd accepted")
+	}
+	if _, err := c.Transient("nope", TranOpts{TEnd: 1e-6, Dt: 1e-9}); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, err := c.Transient("out", TranOpts{TEnd: 1e-6, Dt: 1e-9,
+		SatLimits: map[string]float64{"R1": 1e-6}}); err == nil {
+		t.Error("saturation on resistor accepted")
+	}
+	if _, err := c.Transient("out", TranOpts{TEnd: 1e-6, Dt: 1e-9,
+		SatLimits: map[string]float64{"Gnope": 1e-6}}); err == nil {
+		t.Error("saturation on missing device accepted")
+	}
+	nl2 := netlist.New("y")
+	nl2.AddV("V1", "in", "0", 1)
+	nl2.AddG("G1", "0", "out", "in", "0", 1e-3)
+	nl2.AddR("Ro", "out", "0", 1e3)
+	c2, _ := Compile(nl2)
+	if _, err := c2.Transient("out", TranOpts{TEnd: 1e-6, Dt: 1e-9,
+		SatLimits: map[string]float64{"G1": -1}}); err == nil {
+		t.Error("negative Imax accepted")
+	}
+}
+
+// Steady-state sine cross-check: driving the circuit with a sinusoid and
+// measuring the settled output amplitude must reproduce |H(jω)| from the
+// AC analysis — the two engines share nothing but the stamps, so this
+// catches integration errors that a step test can miss.
+func TestTransientSineMatchesAC(t *testing.T) {
+	nl := netlist.New("sine check")
+	nl.AddV("V1", "in", "0", 1)
+	nl.AddR("R1", "in", "mid", 10e3)
+	nl.AddC("C1", "mid", "0", 1e-9)
+	nl.AddR("R2", "mid", "out", 20e3)
+	nl.AddC("C2", "out", "0", 0.5e-9)
+	c, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{3e3, 15e3, 60e3} {
+		h, err := c.TFAt("out", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAmp := cmplx.Abs(h)
+		period := 1 / f
+		pts, err := c.Transient("out", TranOpts{
+			TEnd: 30 * period, Dt: period / 200,
+			Input: func(tt float64) float64 { return math.Sin(2 * math.Pi * f * tt) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Peak amplitude over the last five periods (transient settled).
+		amp := 0.0
+		tail := pts[len(pts)-5*200:]
+		for _, p := range tail {
+			if a := math.Abs(p.V); a > amp {
+				amp = a
+			}
+		}
+		if !units.ApproxEqual(amp, wantAmp, 0.02) {
+			t.Errorf("f=%g: transient amplitude %g vs AC |H| %g", f, amp, wantAmp)
+		}
+	}
+}

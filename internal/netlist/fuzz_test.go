@@ -1,0 +1,66 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// round-trip through String → Parse to the same device count.
+func FuzzParse(f *testing.F) {
+	f.Add("* title\nV1 in 0 AC 1\nR1 in out 10k\nC1 out 0 4p\n.end\n")
+	f.Add("G1 0 out in 0 100u\nRo out 0 1MEG")
+	f.Add("E1 a 0 b 0 2\nR1 a 0 1k\nR2 b 0 1k")
+	f.Add("")
+	f.Add(".end")
+	f.Add("R1 a 0")
+	f.Add("X1 q w 5")
+	f.Add("* only a comment")
+	f.Add("I1 0 x 1m\nR1 x 0 1k")
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := Parse(src)
+		if err != nil {
+			return
+		}
+		again, err := Parse(nl.String())
+		if err != nil {
+			t.Fatalf("accepted netlist failed reparse: %v\noriginal: %q", err, src)
+		}
+		if len(again.Devices) != len(nl.Devices) {
+			t.Fatalf("round trip changed device count %d -> %d", len(nl.Devices), len(again.Devices))
+		}
+	})
+}
+
+// FuzzDeviceLineRoundTrip: any valid device renders to a line its parser
+// accepts.
+func FuzzDeviceLineRoundTrip(f *testing.F) {
+	f.Add("Rx", "a", "b", 1234.5)
+	f.Add("Cload", "out", "0", 1e-11)
+	f.Fuzz(func(t *testing.T, name, a, b string, v float64) {
+		if v <= 0 || v > 1e15 || v < 1e-15 {
+			return
+		}
+		if a == "" || b == "" || a == b || strings.ContainsAny(a+b, " \t\n*.") {
+			return
+		}
+		nl := New("fuzz")
+		nl.AddR("R"+sanitize(name), a, b, v)
+		if _, err := Parse(nl.String()); err != nil {
+			t.Fatalf("generated line unparseable: %v\n%s", err, nl)
+		}
+	})
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r > ' ' && r < 127 && r != '*' && r != '.' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "x"
+	}
+	return b.String()
+}

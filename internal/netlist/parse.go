@@ -1,0 +1,106 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+
+	"artisan/internal/units"
+)
+
+// Parse reads a SPICE-like netlist. Lines starting with '*' are comments
+// (the first comment becomes the title), ".end" terminates, blank lines are
+// skipped. Device lines are "NAME node... VALUE" where the first letter of
+// NAME selects the kind and VALUE accepts engineering notation.
+func Parse(src string) (*Netlist, error) {
+	n := New("")
+	sc := bufio.NewScanner(strings.NewReader(src))
+	lineNo := 0
+	sawTitle := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "*") {
+			if !sawTitle {
+				n.Title = strings.TrimSpace(strings.TrimPrefix(line, "*"))
+				sawTitle = true
+			}
+			continue
+		}
+		if strings.HasPrefix(strings.ToLower(line), ".end") {
+			break
+		}
+		if strings.HasPrefix(line, ".") {
+			// Other dot-cards (.ac, .probe …) are tolerated and ignored.
+			continue
+		}
+		dev, err := parseDeviceLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %w", lineNo, err)
+		}
+		n.Devices = append(n.Devices, dev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	return n, nil
+}
+
+func parseDeviceLine(line string) (Device, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Device{}, fmt.Errorf("too few fields in %q", line)
+	}
+	name := fields[0]
+	var kind DeviceKind
+	switch strings.ToUpper(name[:1]) {
+	case "R":
+		kind = Resistor
+	case "C":
+		kind = Capacitor
+	case "G":
+		kind = VCCS
+	case "E":
+		kind = VCVS
+	case "V":
+		kind = VSource
+	case "I":
+		kind = ISource
+	default:
+		return Device{}, fmt.Errorf("unknown device letter in %q", name)
+	}
+	want := kind.TerminalCount()
+	// Voltage sources may carry an "AC" keyword: "V1 in 0 AC 1".
+	vals := fields[1:]
+	if kind == VSource || kind == ISource {
+		filtered := vals[:0]
+		for _, f := range vals {
+			if strings.EqualFold(f, "AC") || strings.EqualFold(f, "DC") {
+				continue
+			}
+			filtered = append(filtered, f)
+		}
+		vals = filtered
+	}
+	if len(vals) != want+1 {
+		return Device{}, fmt.Errorf("device %q: got %d fields after name, want %d nodes + value", name, len(vals), want)
+	}
+	nodes := append([]string(nil), vals[:want]...)
+	v, err := units.Parse(vals[want])
+	if err != nil {
+		return Device{}, fmt.Errorf("device %q: %w", name, err)
+	}
+	return Device{Kind: kind, Name: name, Nodes: nodes, Value: v}, nil
+}
+
+// MustParse parses a trusted literal netlist, panicking on error.
+func MustParse(src string) *Netlist {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

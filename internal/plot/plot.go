@@ -1,0 +1,163 @@
+// Package plot renders simple ASCII charts for terminal output: Bode
+// magnitude/phase plots from AC sweeps and waveform plots from transient
+// runs. It keeps the command-line tools self-contained (no graphics
+// dependencies) while still letting a user *see* a response.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named trace of (x, y) points. X is assumed monotone
+// increasing.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Options controls the canvas.
+type Options struct {
+	Width  int  // plot columns (default 72)
+	Height int  // plot rows (default 18)
+	LogX   bool // logarithmic x axis
+	YLabel string
+	XLabel string
+}
+
+// Render draws one series onto an ASCII canvas with axis annotations.
+func Render(s Series, o Options) (string, error) {
+	if len(s.X) < 2 || len(s.X) != len(s.Y) {
+		return "", fmt.Errorf("plot: need >= 2 points with matching lengths, got %d/%d", len(s.X), len(s.Y))
+	}
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 18
+	}
+
+	xs := make([]float64, len(s.X))
+	for i, x := range s.X {
+		if o.LogX {
+			if x <= 0 {
+				return "", fmt.Errorf("plot: log axis needs positive x, got %g", x)
+			}
+			xs[i] = math.Log10(x)
+		} else {
+			xs[i] = x
+		}
+	}
+	xmin, xmax := xs[0], xs[len(xs)-1]
+	if xmax <= xmin {
+		return "", fmt.Errorf("plot: x range degenerate")
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, y := range s.Y {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			continue
+		}
+		ymin = math.Min(ymin, y)
+		ymax = math.Max(ymax, y)
+	}
+	if math.IsInf(ymin, 1) {
+		return "", fmt.Errorf("plot: no finite y values")
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	pad := 0.05 * (ymax - ymin)
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, o.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", o.Width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(o.Width-1)))
+		return clampInt(c, 0, o.Width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(o.Height-1)))
+		return clampInt(r, 0, o.Height-1)
+	}
+	// Draw with interpolation between consecutive points for continuity.
+	prevC, prevR := col(xs[0]), row(s.Y[0])
+	grid[prevR][prevC] = '*'
+	for i := 1; i < len(xs); i++ {
+		if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+			continue
+		}
+		c, r := col(xs[i]), row(s.Y[i])
+		steps := maxInt(absInt(c-prevC), absInt(r-prevR))
+		for k := 1; k <= steps; k++ {
+			cc := prevC + (c-prevC)*k/maxInt(steps, 1)
+			rr := prevR + (r-prevR)*k/maxInt(steps, 1)
+			grid[rr][cc] = '*'
+		}
+		prevC, prevR = c, r
+	}
+
+	var b strings.Builder
+	if s.Name != "" {
+		fmt.Fprintf(&b, "%s\n", s.Name)
+	}
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", ymax)
+		case o.Height / 2:
+			label = fmt.Sprintf("%9.3g ", (ymax+ymin)/2)
+		case o.Height - 1:
+			label = fmt.Sprintf("%9.3g ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", o.Width) + "\n")
+	left := fmtX(s.X[0], o.LogX)
+	right := fmtX(s.X[len(s.X)-1], o.LogX)
+	gap := o.Width - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s%s%s%s", strings.Repeat(" ", 11), left, strings.Repeat(" ", gap), right)
+	if o.XLabel != "" || o.YLabel != "" {
+		fmt.Fprintf(&b, "\n%s[x: %s, y: %s]", strings.Repeat(" ", 11), o.XLabel, o.YLabel)
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+func fmtX(v float64, logx bool) string {
+	if logx {
+		return fmt.Sprintf("%.3g", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func line(n int, f func(i int) (float64, float64)) Series {
+	s := Series{Name: "test"}
+	for i := 0; i < n; i++ {
+		x, y := f(i)
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	return s
+}
+
+func TestRenderBasic(t *testing.T) {
+	s := line(50, func(i int) (float64, float64) {
+		x := float64(i)
+		return x, math.Sin(x / 8)
+	})
+	out, err := Render(s, Options{Width: 60, Height: 12, XLabel: "t", YLabel: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no trace drawn")
+	}
+	if !strings.Contains(out, "test") {
+		t.Error("series name missing")
+	}
+	if !strings.Contains(out, "[x: t, y: v]") {
+		t.Error("axis labels missing")
+	}
+	lines := strings.Split(out, "\n")
+	// Title + height rows + axis + x labels + label line.
+	if len(lines) < 15 {
+		t.Errorf("output too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	// -20 dB/decade line renders as a straight diagonal on a log axis:
+	// the '*' column at each row should decrease monotonically in row
+	// order top-left to bottom-right... verify extremes.
+	s := line(100, func(i int) (float64, float64) {
+		f := math.Pow(10, float64(i)/99*6) // 1 Hz .. 1 MHz
+		return f, -20 * math.Log10(f)
+	})
+	out, err := Render(s, Options{Width: 60, Height: 12, LogX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(out, "\n")
+	// rows[0] is the series name; the grid spans rows[1..Height]. The y
+	// padding can leave blank rows at the extremes, so scan for the
+	// first and last rows that carry the trace.
+	first, last := -1, -1
+	for _, r := range rows[1:13] {
+		c := strings.IndexByte(r, '*')
+		if c < 0 {
+			continue
+		}
+		if first < 0 {
+			first = c
+		}
+		last = strings.LastIndexByte(r, '*')
+	}
+	if first < 0 || last < 0 {
+		t.Fatalf("trace missing:\n%s", out)
+	}
+	if !(first < 20 && last > 40) {
+		t.Errorf("diagonal not rendered: first=%d last=%d\n%s", first, last, out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Series{}, Options{}); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := Render(Series{X: []float64{1, 2}, Y: []float64{1}}, Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Render(Series{X: []float64{0, 1}, Y: []float64{1, 2}}, Options{LogX: true}); err == nil {
+		t.Error("non-positive x on log axis accepted")
+	}
+	if _, err := Render(Series{X: []float64{1, 1}, Y: []float64{1, 2}}, Options{}); err == nil {
+		t.Error("degenerate x range accepted")
+	}
+	nan := math.NaN()
+	if _, err := Render(Series{X: []float64{1, 2}, Y: []float64{nan, nan}}, Options{}); err == nil {
+		t.Error("all-NaN y accepted")
+	}
+}
+
+func TestRenderConstantY(t *testing.T) {
+	s := line(10, func(i int) (float64, float64) { return float64(i), 5 })
+	out, err := Render(s, Options{Width: 30, Height: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("flat line not drawn")
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	s := line(20, func(i int) (float64, float64) {
+		y := float64(i)
+		if i == 7 {
+			y = math.Inf(1)
+		}
+		return float64(i), y
+	})
+	if _, err := Render(s, Options{Width: 30, Height: 8}); err != nil {
+		t.Fatalf("non-finite interior point should be skipped: %v", err)
+	}
+}

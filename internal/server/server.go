@@ -1,0 +1,239 @@
+// Package server exposes the Artisan framework as a JSON HTTP service —
+// the "released for public access" form of the paper's abstract. The API
+// is deliberately small: design from a spec group or a natural-language
+// prompt, simulate a netlist, and introspect the knowledge base.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"artisan/internal/core"
+	"artisan/internal/experiment"
+	"artisan/internal/llm"
+	"artisan/internal/measure"
+	"artisan/internal/netlist"
+	"artisan/internal/spec"
+)
+
+// Server holds the service configuration.
+type Server struct {
+	mux *http.ServeMux
+	// MaxTreeWidth bounds client-requested ToT width (resource guard).
+	MaxTreeWidth int
+}
+
+// New builds the service with all routes registered.
+func New() *Server {
+	s := &Server{mux: http.NewServeMux(), MaxTreeWidth: 4}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /groups", s.handleGroups)
+	s.mux.HandleFunc("GET /architectures", s.handleArchitectures)
+	s.mux.HandleFunc("POST /design", s.handleDesign)
+	s.mux.HandleFunc("POST /simulate", s.handleSimulate)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// groupJSON is the wire form of a spec group.
+type groupJSON struct {
+	Name      string  `json:"name"`
+	MinGainDB float64 `json:"minGainDB"`
+	MinGBWHz  float64 `json:"minGBWHz"`
+	MinPMDeg  float64 `json:"minPMDeg"`
+	MaxPowerW float64 `json:"maxPowerW"`
+	CLF       float64 `json:"clF"`
+	Prompt    string  `json:"prompt"`
+}
+
+func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
+	var out []groupJSON
+	for _, g := range spec.Groups() {
+		out = append(out, groupJSON{
+			Name: g.Name, MinGainDB: g.MinGainDB, MinGBWHz: g.MinGBW,
+			MinPMDeg: g.MinPM, MaxPowerW: g.MaxPower, CLF: g.CL,
+			Prompt: g.Prompt(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleArchitectures(w http.ResponseWriter, r *http.Request) {
+	type arch struct {
+		Name      string  `json:"name"`
+		MaxCLF    float64 `json:"maxCLF"`
+		MaxGBWHz  float64 `json:"maxGBWHz"`
+		Rationale string  `json:"rationale"`
+	}
+	var out []arch
+	for _, p := range llm.DomainProfiles() {
+		out = append(out, arch{Name: p.Arch, MaxCLF: p.MaxCL, MaxGBWHz: p.MaxGBW, Rationale: p.Rationale})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// DesignRequest is the POST /design body.
+type DesignRequest struct {
+	Group       string  `json:"group,omitempty"`
+	Prompt      string  `json:"prompt,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Temperature float64 `json:"temperature,omitempty"`
+	TreeWidth   int     `json:"treeWidth,omitempty"`
+	Tune        bool    `json:"tune,omitempty"`
+	Transcript  bool    `json:"transcript,omitempty"`
+}
+
+// DesignResponse is the POST /design reply.
+type DesignResponse struct {
+	Success    bool              `json:"success"`
+	Arch       string            `json:"arch,omitempty"`
+	FailReason string            `json:"failReason,omitempty"`
+	Metrics    *metricsJSON      `json:"metrics,omitempty"`
+	FoM        float64           `json:"fom,omitempty"`
+	Netlist    string            `json:"netlist,omitempty"`
+	Transistor string            `json:"transistor,omitempty"`
+	Transcript string            `json:"transcript,omitempty"`
+	Session    map[string]int    `json:"session"`
+	ModeledRun *modeledDurations `json:"modeledRuntime,omitempty"`
+}
+
+type metricsJSON struct {
+	GainDB float64 `json:"gainDB"`
+	GBWHz  float64 `json:"gbwHz"`
+	PMDeg  float64 `json:"pmDeg"`
+	PowerW float64 `json:"powerW"`
+	Stable bool    `json:"stable"`
+	F3dBHz float64 `json:"f3dBHz"`
+	// GMdB is null when the phase never reaches −180° (infinite margin):
+	// JSON has no representation for +Inf.
+	GMdB    *float64 `json:"gmDB"`
+	NumPole int      `json:"numPoles"`
+}
+
+type modeledDurations struct {
+	Artisan string `json:"artisan"`
+}
+
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	var req DesignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	var sp spec.Spec
+	var err error
+	switch {
+	case req.Group != "":
+		sp, err = spec.Group(req.Group)
+	case req.Prompt != "":
+		sp, err = core.ParsePrompt(req.Prompt)
+	default:
+		err = fmt.Errorf("provide group or prompt")
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.TreeWidth < 1 {
+		req.TreeWidth = 1
+	}
+	if req.TreeWidth > s.MaxTreeWidth {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("treeWidth %d exceeds limit %d", req.TreeWidth, s.MaxTreeWidth))
+		return
+	}
+	if req.Temperature < 0 || req.Temperature > 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("temperature %g out of [0,1]", req.Temperature))
+		return
+	}
+
+	a := core.NewWithModel(llm.NewDomainModel(req.Seed, req.Temperature))
+	a.Opts.TreeWidth = req.TreeWidth
+	a.Opts.Tune = req.Tune
+	out, err := a.Design(sp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	resp := DesignResponse{
+		Success:    out.Success,
+		Arch:       out.Arch,
+		FailReason: out.FailReason,
+		Session:    map[string]int{"qaSteps": out.QACount, "simulations": out.SimCount},
+	}
+	if out.Success {
+		resp.Metrics = toMetricsJSON(out.Report)
+		resp.FoM = sp.FoMOf(out.Report)
+		resp.Netlist = out.Netlist.String()
+		if out.Transistor != nil {
+			resp.Transistor = out.Transistor.String()
+		}
+		cm := experiment.DefaultCostModel()
+		resp.ModeledRun = &modeledDurations{
+			Artisan: cm.ArtisanTime(out.SimCount, out.QACount, true).Round(time.Second).String(),
+		}
+	}
+	if req.Transcript {
+		resp.Transcript = out.Transcript.Chat()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func toMetricsJSON(rep measure.Report) *metricsJSON {
+	m := &metricsJSON{
+		GainDB: rep.GainDB, GBWHz: rep.GBW, PMDeg: rep.PM, PowerW: rep.Power,
+		Stable: rep.Stable, F3dBHz: rep.F3dB, NumPole: rep.NumPoles,
+	}
+	if !math.IsInf(rep.GM, 0) && !math.IsNaN(rep.GM) {
+		gm := rep.GM
+		m.GMdB = &gm
+	}
+	return m
+}
+
+// SimulateRequest is the POST /simulate body.
+type SimulateRequest struct {
+	Netlist string `json:"netlist"`
+	Out     string `json:"out,omitempty"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	if req.Out == "" {
+		req.Out = "out"
+	}
+	nl, err := netlist.Parse(req.Netlist)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := measure.Analyze(nl, req.Out)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toMetricsJSON(rep))
+}

@@ -1,0 +1,198 @@
+// Package sizing implements the parameter-tuning tool of the Artisan
+// workflow (Fig. 2) and the inner loop of the black-box baselines: a
+// Gaussian-process Bayesian optimizer (Lyu et al. [14]) with an RBF
+// kernel, expected-improvement acquisition, Latin-hypercube
+// initialization, plus a Nelder–Mead simplex refiner.
+package sizing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// gp is a Gaussian-process regressor over the unit hypercube with an RBF
+// kernel, fitted by Cholesky factorization.
+type gp struct {
+	x     [][]float64 // training inputs (normalized)
+	y     []float64   // standardized targets
+	mean  float64
+	std   float64
+	ell   float64 // lengthscale
+	sigF2 float64 // signal variance
+	sigN2 float64 // noise variance
+	chol  [][]float64
+	alpha []float64
+}
+
+func rbf(a, b []float64, ell, sigF2 float64) float64 {
+	d2 := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return sigF2 * math.Exp(-0.5*d2/(ell*ell))
+}
+
+// fitGP trains the regressor; y is standardized internally.
+func fitGP(x [][]float64, y []float64) (*gp, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("sizing: bad training set (%d inputs, %d targets)", n, len(y))
+	}
+	g := &gp{x: x, ell: 0.3, sigF2: 1.0, sigN2: 1e-4}
+	// standardize
+	for _, v := range y {
+		g.mean += v
+	}
+	g.mean /= float64(n)
+	for _, v := range y {
+		g.std += (v - g.mean) * (v - g.mean)
+	}
+	g.std = math.Sqrt(g.std/float64(n)) + 1e-12
+	g.y = make([]float64, n)
+	for i, v := range y {
+		g.y[i] = (v - g.mean) / g.std
+	}
+	// kernel matrix
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			k[i][j] = rbf(x[i], x[j], g.ell, g.sigF2)
+		}
+		k[i][i] += g.sigN2
+	}
+	chol, err := cholesky(k)
+	if err != nil {
+		return nil, err
+	}
+	g.chol = chol
+	g.alpha = cholSolve(chol, g.y)
+	return g, nil
+}
+
+// predict returns the posterior mean and standard deviation at xq, in the
+// original target units.
+func (g *gp) predict(xq []float64) (mu, sd float64) {
+	n := len(g.x)
+	kstar := make([]float64, n)
+	for i := range kstar {
+		kstar[i] = rbf(g.x[i], xq, g.ell, g.sigF2)
+	}
+	m := 0.0
+	for i := range kstar {
+		m += kstar[i] * g.alpha[i]
+	}
+	// v = L⁻¹ k*
+	v := forwardSolve(g.chol, kstar)
+	var2 := g.sigF2 + g.sigN2
+	for _, vi := range v {
+		var2 -= vi * vi
+	}
+	if var2 < 1e-12 {
+		var2 = 1e-12
+	}
+	return m*g.std + g.mean, math.Sqrt(var2) * g.std
+}
+
+// cholesky returns the lower-triangular factor of a symmetric
+// positive-definite matrix, adding jitter on near-singularity.
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	jitter := 0.0
+	for attempt := 0; attempt < 6; attempt++ {
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			for j := 0; j <= i; j++ {
+				sum := a[i][j]
+				if i == j {
+					sum += jitter
+				}
+				for k := 0; k < j; k++ {
+					sum -= l[i][k] * l[j][k]
+				}
+				if i == j {
+					if sum <= 0 {
+						ok = false
+						break
+					}
+					l[i][i] = math.Sqrt(sum)
+				} else {
+					l[i][j] = sum / l[j][j]
+				}
+			}
+		}
+		if ok {
+			return l, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, fmt.Errorf("sizing: kernel matrix not positive definite even with jitter")
+}
+
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(l)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= l[i][j] * x[j]
+		}
+		x[i] = s / l[i][i]
+	}
+	return x
+}
+
+func backSolve(l [][]float64, b []float64) []float64 {
+	n := len(l)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= l[j][i] * x[j]
+		}
+		x[i] = s / l[i][i]
+	}
+	return x
+}
+
+// cholSolve solves (L Lᵀ) x = b.
+func cholSolve(l [][]float64, b []float64) []float64 {
+	return backSolve(l, forwardSolve(l, b))
+}
+
+// expectedImprovement for maximization.
+func expectedImprovement(mu, sd, best float64) float64 {
+	if sd <= 0 {
+		return 0
+	}
+	z := (mu - best) / sd
+	return (mu-best)*normCDF(z) + sd*normPDF(z)
+}
+
+func normPDF(z float64) float64 { return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi) }
+func normCDF(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+
+// latinHypercube draws n stratified points in [0,1]^d.
+func latinHypercube(n, d int, rng *rand.Rand) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+	}
+	for j := 0; j < d; j++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			pts[i][j] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return pts
+}

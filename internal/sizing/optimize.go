@@ -1,0 +1,254 @@
+package sizing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Problem is a bounded maximization problem. Eval may be expensive (one
+// circuit simulation per call in this repository).
+type Problem struct {
+	Lo, Hi []float64
+	Eval   func(x []float64) float64
+}
+
+// Options controls the optimizer budget.
+type Options struct {
+	InitSamples int // Latin-hypercube evaluations before the GP loop
+	Iterations  int // BO iterations (one evaluation each)
+	Candidates  int // acquisition candidates per iteration
+	Seed        int64
+}
+
+// DefaultOptions is a modest budget suitable for behavioral simulation.
+func DefaultOptions(seed int64) Options {
+	return Options{InitSamples: 12, Iterations: 40, Candidates: 512, Seed: seed}
+}
+
+// Result reports the best point found and the evaluation history.
+type Result struct {
+	BestX   []float64
+	BestY   float64
+	Evals   int
+	History []float64 // best-so-far after each evaluation
+}
+
+func (p Problem) dim() int { return len(p.Lo) }
+
+func (p Problem) validate() error {
+	if len(p.Lo) == 0 || len(p.Lo) != len(p.Hi) {
+		return fmt.Errorf("sizing: bounds length mismatch (%d vs %d)", len(p.Lo), len(p.Hi))
+	}
+	for i := range p.Lo {
+		if !(p.Lo[i] < p.Hi[i]) {
+			return fmt.Errorf("sizing: bad bounds in dim %d: [%g, %g]", i, p.Lo[i], p.Hi[i])
+		}
+	}
+	if p.Eval == nil {
+		return fmt.Errorf("sizing: nil objective")
+	}
+	return nil
+}
+
+func (p Problem) denorm(u []float64) []float64 {
+	x := make([]float64, len(u))
+	for i := range u {
+		x[i] = p.Lo[i] + u[i]*(p.Hi[i]-p.Lo[i])
+	}
+	return x
+}
+
+// Optimize runs GP-based Bayesian optimization (maximization).
+func Optimize(p Problem, o Options) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if o.InitSamples < 2 {
+		o.InitSamples = 2
+	}
+	if o.Candidates < 16 {
+		o.Candidates = 16
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	d := p.dim()
+
+	res := &Result{BestY: math.Inf(-1)}
+	var xs [][]float64
+	var ys []float64
+	record := func(u []float64) {
+		y := p.Eval(p.denorm(u))
+		xs = append(xs, u)
+		ys = append(ys, y)
+		res.Evals++
+		if y > res.BestY {
+			res.BestY = y
+			res.BestX = p.denorm(u)
+		}
+		res.History = append(res.History, res.BestY)
+	}
+
+	for _, u := range latinHypercube(o.InitSamples, d, rng) {
+		record(u)
+	}
+
+	for it := 0; it < o.Iterations; it++ {
+		g, err := fitGP(xs, ys)
+		if err != nil {
+			// Degenerate model (e.g. constant objective): fall back to
+			// random exploration rather than aborting the tuning run.
+			u := make([]float64, d)
+			for i := range u {
+				u[i] = rng.Float64()
+			}
+			record(u)
+			continue
+		}
+		bestStd := (res.BestY - g.mean) / g.std
+		_ = bestStd
+		// Candidate pool: uniform + Gaussian perturbations of the
+		// incumbent (local exploitation).
+		bestU := xs[argmax(ys)]
+		var bestCand []float64
+		bestEI := math.Inf(-1)
+		for c := 0; c < o.Candidates; c++ {
+			u := make([]float64, d)
+			if c%3 == 0 {
+				for i := range u {
+					u[i] = clamp01(bestU[i] + rng.NormFloat64()*0.08)
+				}
+			} else {
+				for i := range u {
+					u[i] = rng.Float64()
+				}
+			}
+			mu, sd := g.predict(u)
+			ei := expectedImprovement(mu, sd, res.BestY)
+			if ei > bestEI {
+				bestEI, bestCand = ei, u
+			}
+		}
+		record(bestCand)
+	}
+	return res, nil
+}
+
+func argmax(ys []float64) int {
+	bi, bv := 0, math.Inf(-1)
+	for i, v := range ys {
+		if v > bv {
+			bi, bv = i, v
+		}
+	}
+	return bi
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// NelderMead runs a bounded simplex maximization from x0 for maxIter
+// iterations; it is the local refiner used after BO.
+func NelderMead(p Problem, x0 []float64, maxIter int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	d := p.dim()
+	if len(x0) != d {
+		return nil, fmt.Errorf("sizing: start point dimension %d, want %d", len(x0), d)
+	}
+	clampX := func(x []float64) []float64 {
+		c := make([]float64, d)
+		for i := range x {
+			c[i] = math.Max(p.Lo[i], math.Min(p.Hi[i], x[i]))
+		}
+		return c
+	}
+	res := &Result{BestY: math.Inf(-1)}
+	eval := func(x []float64) float64 {
+		x = clampX(x)
+		y := p.Eval(x)
+		res.Evals++
+		if y > res.BestY {
+			res.BestY = y
+			res.BestX = append([]float64(nil), x...)
+		}
+		res.History = append(res.History, res.BestY)
+		return y
+	}
+
+	// Initial simplex: x0 plus per-dimension steps of 5% of range.
+	pts := make([][]float64, d+1)
+	ys := make([]float64, d+1)
+	pts[0] = clampX(x0)
+	ys[0] = eval(pts[0])
+	for i := 0; i < d; i++ {
+		v := append([]float64(nil), pts[0]...)
+		v[i] += 0.05 * (p.Hi[i] - p.Lo[i])
+		pts[i+1] = clampX(v)
+		ys[i+1] = eval(pts[i+1])
+	}
+
+	for it := 0; it < maxIter; it++ {
+		// order descending (maximization: best first)
+		for i := 0; i < len(ys); i++ {
+			for j := i + 1; j < len(ys); j++ {
+				if ys[j] > ys[i] {
+					ys[i], ys[j] = ys[j], ys[i]
+					pts[i], pts[j] = pts[j], pts[i]
+				}
+			}
+		}
+		// centroid of all but worst
+		cen := make([]float64, d)
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				cen[i] += pts[j][i]
+			}
+			cen[i] /= float64(d)
+		}
+		worst := pts[d]
+		refl := make([]float64, d)
+		for i := range refl {
+			refl[i] = cen[i] + (cen[i] - worst[i])
+		}
+		yr := eval(refl)
+		switch {
+		case yr > ys[0]:
+			exp := make([]float64, d)
+			for i := range exp {
+				exp[i] = cen[i] + 2*(cen[i]-worst[i])
+			}
+			if ye := eval(exp); ye > yr {
+				pts[d], ys[d] = exp, ye
+			} else {
+				pts[d], ys[d] = refl, yr
+			}
+		case yr > ys[d-1]:
+			pts[d], ys[d] = refl, yr
+		default:
+			con := make([]float64, d)
+			for i := range con {
+				con[i] = cen[i] + 0.5*(worst[i]-cen[i])
+			}
+			if yc := eval(con); yc > ys[d] {
+				pts[d], ys[d] = con, yc
+			} else {
+				// shrink toward best
+				for j := 1; j <= d; j++ {
+					for i := 0; i < d; i++ {
+						pts[j][i] = pts[0][i] + 0.5*(pts[j][i]-pts[0][i])
+					}
+					ys[j] = eval(pts[j])
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,251 @@
+package sizing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"artisan/internal/units"
+)
+
+func sphere(opt []float64) func([]float64) float64 {
+	return func(x []float64) float64 {
+		s := 0.0
+		for i := range x {
+			d := x[i] - opt[i]
+			s += d * d
+		}
+		return -s
+	}
+}
+
+func TestOptimizeSphere2D(t *testing.T) {
+	p := Problem{
+		Lo:   []float64{-5, -5},
+		Hi:   []float64{5, 5},
+		Eval: sphere([]float64{1.2, -2.3}),
+	}
+	res, err := Optimize(p, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestY < -0.3 {
+		t.Errorf("BestY = %g, want near 0 (found x=%v)", res.BestY, res.BestX)
+	}
+	if res.Evals != 12+40 {
+		t.Errorf("Evals = %d, want 52", res.Evals)
+	}
+}
+
+func TestOptimizeBeatsRandomSearch(t *testing.T) {
+	// On a smooth objective with equal budgets, BO must beat pure random
+	// search on the median of several seeds.
+	obj := sphere([]float64{0.5, -1.5, 2.0})
+	p := Problem{Lo: []float64{-5, -5, -5}, Hi: []float64{5, 5, 5}, Eval: obj}
+	boWins := 0
+	const seeds = 5
+	for s := int64(0); s < seeds; s++ {
+		res, err := Optimize(p, Options{InitSamples: 10, Iterations: 30, Candidates: 256, Seed: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(s + 1000))
+		randBest := math.Inf(-1)
+		for i := 0; i < 40; i++ {
+			x := make([]float64, 3)
+			for j := range x {
+				x[j] = -5 + 10*rng.Float64()
+			}
+			if y := obj(x); y > randBest {
+				randBest = y
+			}
+		}
+		if res.BestY > randBest {
+			boWins++
+		}
+	}
+	if boWins < 4 {
+		t.Errorf("BO beat random search only %d/%d times", boWins, seeds)
+	}
+}
+
+func TestHistoryMonotone(t *testing.T) {
+	p := Problem{Lo: []float64{-2}, Hi: []float64{2},
+		Eval: func(x []float64) float64 { return math.Sin(3*x[0]) - x[0]*x[0]/4 }}
+	res, err := Optimize(p, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1] {
+			t.Fatalf("history not monotone at %d", i)
+		}
+	}
+	if len(res.History) != res.Evals {
+		t.Errorf("history length %d != evals %d", len(res.History), res.Evals)
+	}
+}
+
+func TestResultWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		p := Problem{Lo: []float64{0, -1}, Hi: []float64{1, 1},
+			Eval: func(x []float64) float64 { return x[0] - x[1]*x[1] }}
+		res, err := Optimize(p, Options{InitSamples: 5, Iterations: 8, Candidates: 64, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for i := range res.BestX {
+			if res.BestX[i] < p.Lo[i]-1e-12 || res.BestX[i] > p.Hi[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeValidation(t *testing.T) {
+	if _, err := Optimize(Problem{}, DefaultOptions(1)); err == nil {
+		t.Error("empty problem accepted")
+	}
+	if _, err := Optimize(Problem{Lo: []float64{1}, Hi: []float64{0},
+		Eval: func([]float64) float64 { return 0 }}, DefaultOptions(1)); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := Optimize(Problem{Lo: []float64{0}, Hi: []float64{1}}, DefaultOptions(1)); err == nil {
+		t.Error("nil objective accepted")
+	}
+}
+
+func TestConstantObjectiveSurvives(t *testing.T) {
+	p := Problem{Lo: []float64{0}, Hi: []float64{1},
+		Eval: func([]float64) float64 { return 7 }}
+	res, err := Optimize(p, Options{InitSamples: 4, Iterations: 6, Candidates: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestY != 7 {
+		t.Errorf("BestY = %g", res.BestY)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	// maximize -Rosenbrock: optimum at (1,1).
+	p := Problem{
+		Lo: []float64{-2, -2}, Hi: []float64{2, 2},
+		Eval: func(x []float64) float64 {
+			a := 1 - x[0]
+			b := x[1] - x[0]*x[0]
+			return -(a*a + 100*b*b)
+		},
+	}
+	res, err := NelderMead(p, []float64{-1, 1}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestY < -0.05 {
+		t.Errorf("NM best = %g at %v, want near 0 at (1,1)", res.BestY, res.BestX)
+	}
+}
+
+func TestNelderMeadRespectsBounds(t *testing.T) {
+	p := Problem{Lo: []float64{0}, Hi: []float64{1},
+		Eval: func(x []float64) float64 { return x[0] }} // pushes to upper bound
+	res, err := NelderMead(p, []float64{0.5}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestX[0] < 0.99 || res.BestX[0] > 1 {
+		t.Errorf("BestX = %v, want at bound 1", res.BestX)
+	}
+}
+
+func TestNelderMeadValidation(t *testing.T) {
+	p := Problem{Lo: []float64{0, 0}, Hi: []float64{1, 1},
+		Eval: func(x []float64) float64 { return 0 }}
+	if _, err := NelderMead(p, []float64{0.5}, 10); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestGPInterpolates(t *testing.T) {
+	xs := [][]float64{{0.1}, {0.5}, {0.9}}
+	ys := []float64{1, 3, 2}
+	g, err := fitGP(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		mu, sd := g.predict(xs[i])
+		if !units.ApproxEqual(mu, ys[i], 0.05) {
+			t.Errorf("GP at training point %v: mu=%g want %g", xs[i], mu, ys[i])
+		}
+		if sd > 0.3 {
+			t.Errorf("GP sd at training point = %g, want small", sd)
+		}
+	}
+	// Far point has larger predictive sd than training points.
+	_, sdFar := g.predict([]float64{5})
+	_, sdNear := g.predict(xs[1])
+	if sdFar <= sdNear {
+		t.Error("predictive sd should grow away from data")
+	}
+}
+
+func TestCholeskyAndSolve(t *testing.T) {
+	a := [][]float64{{4, 2, 0.6}, {2, 5, 1.5}, {0.6, 1.5, 3}}
+	l, err := cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, -2, 3}
+	x := cholSolve(l, b)
+	for i := range b {
+		got := 0.0
+		for j := range x {
+			got += a[i][j] * x[j]
+		}
+		if !units.ApproxEqual(got, b[i], 1e-9) {
+			t.Errorf("row %d: Ax = %g, want %g", i, got, b[i])
+		}
+	}
+}
+
+func TestLatinHypercubeStratified(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := latinHypercube(10, 3, rng)
+	if len(pts) != 10 {
+		t.Fatal("wrong count")
+	}
+	// In each dimension exactly one point per decile.
+	for d := 0; d < 3; d++ {
+		seen := make([]bool, 10)
+		for _, p := range pts {
+			bin := int(p[d] * 10)
+			if bin == 10 {
+				bin = 9
+			}
+			if seen[bin] {
+				t.Fatalf("dim %d: two points in decile %d", d, bin)
+			}
+			seen[bin] = true
+		}
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	if expectedImprovement(1, 0, 0) != 0 {
+		t.Error("zero sd should give zero EI")
+	}
+	// Higher mean → higher EI at equal sd.
+	if expectedImprovement(2, 1, 0) <= expectedImprovement(1, 1, 0) {
+		t.Error("EI not increasing in mean")
+	}
+	// All else equal, more uncertainty → more EI below the incumbent.
+	if expectedImprovement(-1, 2, 0) <= expectedImprovement(-1, 0.5, 0) {
+		t.Error("EI not increasing in sd below incumbent")
+	}
+}

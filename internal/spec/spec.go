@@ -1,0 +1,130 @@
+// Package spec defines opamp design specifications, the five experimental
+// groups of the paper's Table 2, the small-signal figure of merit of
+// Eq. (6), and the success predicate used throughout the evaluation.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"artisan/internal/measure"
+	"artisan/internal/units"
+)
+
+// Spec is a set of opamp design requirements plus operating conditions.
+// Thresholds follow Table 2: minimums for Gain/GBW/PM, a maximum for Power.
+type Spec struct {
+	Name      string
+	MinGainDB float64 // dB
+	MinGBW    float64 // Hz
+	MinPM     float64 // degrees
+	MaxPower  float64 // W
+	CL        float64 // F, load capacitance
+	RL        float64 // Ω, load resistance (1 MΩ throughout the paper)
+	VDD       float64 // V supply (1.8 V throughout the paper)
+}
+
+// String renders the spec in the paper's notation.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s: Gain>%gdB GBW>%sHz PM>%g° Power<%sW CL=%sF",
+		s.Name, s.MinGainDB, units.Format(s.MinGBW), s.MinPM,
+		units.Format(s.MaxPower), units.Format(s.CL))
+}
+
+// Prompt renders the spec as the natural-language design request Q0 that
+// opens every Artisan session (paper Fig. 7).
+func (s Spec) Prompt() string {
+	return fmt.Sprintf("Please design an opamp meeting the following specs: "+
+		"gain >%gdB, PM >%g°, GBW >%sHz, and Power <%sW with capacitive load CL = %sF.",
+		s.MinGainDB, s.MinPM, units.Format(s.MinGBW),
+		units.Format(s.MaxPower), units.Format(s.CL))
+}
+
+// FoM computes the paper's Eq. (6): GBW[MHz]·CL[pF]/Power[mW].
+func FoM(gbwHz, clF, powerW float64) float64 {
+	if powerW <= 0 {
+		return 0
+	}
+	return (gbwHz / 1e6) * (clF / 1e-12) / (powerW / 1e-3)
+}
+
+// FoMOf evaluates the FoM of a measured report under this spec's load.
+func (s Spec) FoMOf(r measure.Report) float64 { return FoM(r.GBW, s.CL, r.Power) }
+
+// Violation describes one unmet requirement.
+type Violation struct {
+	Metric string
+	Got    float64
+	Limit  float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: got %s, limit %s", v.Metric, units.Format(v.Got), units.Format(v.Limit))
+}
+
+// Check evaluates a measured report against the spec; an empty slice means
+// every requirement is met. An unstable circuit always fails.
+func (s Spec) Check(r measure.Report) []Violation {
+	var vs []Violation
+	if r.GainDB < s.MinGainDB {
+		vs = append(vs, Violation{"Gain(dB)", r.GainDB, s.MinGainDB})
+	}
+	if r.GBW < s.MinGBW {
+		vs = append(vs, Violation{"GBW(Hz)", r.GBW, s.MinGBW})
+	}
+	if r.PM < s.MinPM {
+		vs = append(vs, Violation{"PM(deg)", r.PM, s.MinPM})
+	}
+	if r.Power > s.MaxPower {
+		vs = append(vs, Violation{"Power(W)", r.Power, s.MaxPower})
+	}
+	if !r.Stable {
+		vs = append(vs, Violation{"Stability", 0, 1})
+	}
+	return vs
+}
+
+// Satisfied reports whether the report meets every requirement.
+func (s Spec) Satisfied(r measure.Report) bool { return len(s.Check(r)) == 0 }
+
+// Describe summarises a check result for transcripts.
+func Describe(vs []Violation) string {
+	if len(vs) == 0 {
+		return "all specs met"
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return "violations: " + strings.Join(parts, "; ")
+}
+
+// Groups returns the paper's experimental groups G-1…G-5 (Table 2):
+// G-1 baseline, G-2 high gain, G-3 high GBW, G-4 low power, G-5 huge load.
+func Groups() []Spec {
+	base := Spec{
+		MinGainDB: 85, MinGBW: 0.7e6, MinPM: 55, MaxPower: 250e-6,
+		CL: 10e-12, RL: 1e6, VDD: 1.8,
+	}
+	g1 := base
+	g1.Name = "G-1"
+	g2 := base
+	g2.Name, g2.MinGainDB = "G-2", 110
+	g3 := base
+	g3.Name, g3.MinGBW = "G-3", 5e6
+	g4 := base
+	g4.Name, g4.MaxPower = "G-4", 50e-6
+	g5 := base
+	g5.Name, g5.CL = "G-5", 1000e-12
+	return []Spec{g1, g2, g3, g4, g5}
+}
+
+// Group returns the named group ("G-1" … "G-5").
+func Group(name string) (Spec, error) {
+	for _, g := range Groups() {
+		if strings.EqualFold(g.Name, name) {
+			return g, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("spec: unknown group %q", name)
+}

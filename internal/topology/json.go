@@ -1,0 +1,51 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization: topologies interchange as structured JSON (used by
+// the HTTP API and dataset dumps). Connection types marshal by their
+// mnemonic name rather than their integer value, so stored topologies
+// survive reorderings of the type alphabet.
+
+// MarshalJSON implements json.Marshaler.
+func (t ConnType) MarshalJSON() ([]byte, error) {
+	if t < 0 || int(t) >= NumConnTypes {
+		return nil, fmt.Errorf("topology: cannot marshal unknown ConnType %d", int(t))
+	}
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *ConnType) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("topology: %w", err)
+	}
+	for i := 0; i < NumConnTypes; i++ {
+		if ConnType(i).String() == name {
+			*t = ConnType(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("topology: unknown connection type %q", name)
+}
+
+// ToJSON serializes the topology (indented).
+func (t *Topology) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// FromJSON deserializes and validates a topology.
+func FromJSON(data []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

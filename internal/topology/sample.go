@@ -1,0 +1,208 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws random topologies and applies mutation operators; it is
+// the engine behind the paper's NetlistTuple generator (§3.2.2: "the
+// generator randomly selects connection types for each tunable
+// connection") and the move set of the RLBO baseline.
+type Sampler struct {
+	rng *rand.Rand
+}
+
+// NewSampler returns a deterministic sampler for the given seed.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// logUniform draws from [lo, hi] uniformly in log space.
+func (s *Sampler) logUniform(lo, hi float64) float64 {
+	return lo * math.Exp(s.rng.Float64()*math.Log(hi/lo))
+}
+
+// Parameter ranges of the design space.
+const (
+	gmLo, gmHi = 1e-6, 3e-3 // S
+	cLo, cHi   = 0.1e-12, 20e-12
+	rLo, rHi   = 1e3, 1e6
+)
+
+// RandomGm draws a plausible transconductance.
+func (s *Sampler) RandomGm() float64 { return s.logUniform(gmLo, gmHi) }
+
+// RandomC draws a plausible compensation capacitance.
+func (s *Sampler) RandomC() float64 { return s.logUniform(cLo, cHi) }
+
+// RandomR draws a plausible resistance.
+func (s *Sampler) RandomR() float64 { return s.logUniform(rLo, rHi) }
+
+// LegalTypesAt enumerates the connection types allowed at a position
+// (including ConnNone).
+func LegalTypesAt(p Position) []ConnType {
+	var out []ConnType
+	for t := ConnType(0); int(t) < NumConnTypes; t++ {
+		if t == ConnNone || legalAt(t, p) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SpaceSize returns the number of structural topologies in the design
+// space: the product over legal positions of the legal type counts. With
+// 8 node-to-node positions × 25 types and 3 shunt positions × 7 types it
+// is far beyond the paper's quoted "up to one million opamp samples".
+func SpaceSize() float64 {
+	size := 1.0
+	for _, p := range LegalPositions() {
+		size *= float64(len(LegalTypesAt(p)))
+	}
+	return size
+}
+
+// fill instantiates the value fields a type requires.
+func (s *Sampler) fill(c *Connection) {
+	if c.Type.HasGm() {
+		c.Gm = s.RandomGm()
+	}
+	if c.Type.HasC() {
+		c.C = s.RandomC()
+	}
+	if c.Type.HasR() {
+		c.R = s.RandomR()
+	}
+}
+
+// Random draws a topology: random stage transconductances and, at each
+// legal position independently, a random type with bias toward ConnNone so
+// that typical samples have 1–4 connections (like real compensation
+// networks).
+func (s *Sampler) Random() *Topology {
+	t := &Topology{
+		Name:   "random",
+		Stages: stages(s.RandomGm(), s.RandomGm(), s.RandomGm()),
+	}
+	for _, p := range LegalPositions() {
+		if s.rng.Float64() < 0.72 {
+			continue // leave open
+		}
+		types := LegalTypesAt(p)
+		ct := types[s.rng.Intn(len(types))]
+		if ct == ConnNone {
+			continue
+		}
+		c := Connection{Pos: p, Type: ct}
+		s.fill(&c)
+		t.SetConn(c)
+	}
+	return t
+}
+
+// MutationKind enumerates the structural move set.
+type MutationKind int
+
+const (
+	// MutateAdd installs a new random connection at a free position.
+	MutateAdd MutationKind = iota
+	// MutateRemove deletes a random existing connection.
+	MutateRemove
+	// MutateChangeType re-draws the type at an occupied position.
+	MutateChangeType
+	// MutatePerturb scales the element values of one connection.
+	MutatePerturb
+	// MutateStageGm scales one skeleton stage transconductance.
+	MutateStageGm
+	numMutations
+)
+
+// Mutate applies one random structural or parametric move, returning a new
+// topology (the input is not modified). It retries internally until it
+// produces a valid result.
+func (s *Sampler) Mutate(t *Topology) *Topology {
+	for attempt := 0; attempt < 50; attempt++ {
+		m := t.Clone()
+		m.Name = t.Name
+		switch MutationKind(s.rng.Intn(int(numMutations))) {
+		case MutateAdd:
+			free := s.freePositions(m)
+			if len(free) == 0 {
+				continue
+			}
+			p := free[s.rng.Intn(len(free))]
+			types := LegalTypesAt(p)
+			ct := types[s.rng.Intn(len(types))]
+			if ct == ConnNone {
+				continue
+			}
+			c := Connection{Pos: p, Type: ct}
+			s.fill(&c)
+			m.SetConn(c)
+		case MutateRemove:
+			if len(m.Conns) == 0 {
+				continue
+			}
+			m.RemoveConn(m.Conns[s.rng.Intn(len(m.Conns))].Pos)
+		case MutateChangeType:
+			if len(m.Conns) == 0 {
+				continue
+			}
+			i := s.rng.Intn(len(m.Conns))
+			types := LegalTypesAt(m.Conns[i].Pos)
+			ct := types[s.rng.Intn(len(types))]
+			if ct == ConnNone {
+				m.RemoveConn(m.Conns[i].Pos)
+			} else {
+				c := Connection{Pos: m.Conns[i].Pos, Type: ct}
+				s.fill(&c)
+				m.Conns[i] = c
+			}
+		case MutatePerturb:
+			if len(m.Conns) == 0 {
+				continue
+			}
+			i := s.rng.Intn(len(m.Conns))
+			f := math.Exp(s.rng.NormFloat64() * 0.5)
+			c := &m.Conns[i]
+			if c.Type.HasGm() {
+				c.Gm = clampRange(c.Gm*f, gmLo, gmHi)
+			}
+			if c.Type.HasC() {
+				c.C = clampRange(c.C*f, cLo, cHi)
+			}
+			if c.Type.HasR() {
+				c.R = clampRange(c.R*f, rLo, rHi)
+			}
+		case MutateStageGm:
+			i := s.rng.Intn(3)
+			f := math.Exp(s.rng.NormFloat64() * 0.5)
+			m.Stages[i].Gm = clampRange(m.Stages[i].Gm*f, gmLo, gmHi)
+		}
+		if m.Validate() == nil {
+			return m
+		}
+	}
+	return t.Clone()
+}
+
+func (s *Sampler) freePositions(t *Topology) []Position {
+	var free []Position
+	for _, p := range LegalPositions() {
+		if t.ConnAt(p) == nil {
+			free = append(free, p)
+		}
+	}
+	return free
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,348 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"artisan/internal/netlist"
+)
+
+// Stage is one skeleton transconductance stage. The polarity sequence of
+// the skeleton is fixed (+, +, −) so that both nested Miller loops are
+// negative feedback loops. A0 is the stage's intrinsic DC gain, which
+// sets its lumped output resistance Ro = A0/gm (a cascode stage has a
+// higher A0 than a simple common-source stage).
+type Stage struct {
+	Gm float64 // transconductance, S
+	A0 float64 // intrinsic voltage gain (gm·Ro)
+}
+
+// DeviceModel couples behavioral parameters to physical cost: parasitic
+// capacitance grows with transconductance through an effective transit
+// frequency, so faster stages load their nodes harder.
+type DeviceModel struct {
+	FT   float64 // effective transit frequency, Hz
+	CMin float64 // minimum node parasitic, F
+}
+
+// DefaultDeviceModel matches a mature 180 nm-class process.
+func DefaultDeviceModel() DeviceModel { return DeviceModel{FT: 1e9, CMin: 5e-15} }
+
+// Cp returns the parasitic capacitance of a stage output.
+func (m DeviceModel) Cp(gm float64) float64 {
+	return gm/(2*math.Pi*m.FT) + m.CMin
+}
+
+// DefaultStageA0 are the intrinsic gains used when a caller doesn't
+// override them: a current-mirror (cascoded) input stage and two
+// common-source stages.
+var DefaultStageA0 = [3]float64{160, 45, 45}
+
+// Connection is one tunable connection instance: a position, a type, and
+// the element values the type uses (unused fields are ignored).
+type Connection struct {
+	Pos  Position
+	Type ConnType
+	Gm   float64 // S
+	R    float64 // Ω
+	C    float64 // F
+}
+
+// Validate checks the connection's type/position legality and parameters.
+func (c Connection) Validate() error {
+	if c.Type == ConnNone {
+		return nil
+	}
+	legalPos := false
+	for _, p := range LegalPositions() {
+		if p == c.Pos {
+			legalPos = true
+			break
+		}
+	}
+	if !legalPos {
+		return fmt.Errorf("topology: illegal position %v", c.Pos)
+	}
+	if !legalAt(c.Type, c.Pos) {
+		return fmt.Errorf("topology: type %v not allowed at %v", c.Type, c.Pos)
+	}
+	if c.Type.HasGm() && c.Gm <= 0 {
+		return fmt.Errorf("topology: %v at %v needs Gm > 0", c.Type, c.Pos)
+	}
+	if c.Type.HasC() && c.C <= 0 {
+		return fmt.Errorf("topology: %v at %v needs C > 0", c.Type, c.Pos)
+	}
+	if c.Type.HasR() && c.R <= 0 {
+		return fmt.Errorf("topology: %v at %v needs R > 0", c.Type, c.Pos)
+	}
+	return nil
+}
+
+// Topology is a complete opamp candidate: named architecture, skeleton
+// stage parameters, and the tunable connections. The paper focuses on
+// three-stage opamps (§2.2) but notes the approach "can be easily
+// extended to support other opamp topologies"; TwoStage exercises that
+// claim: when set, the skeleton is in → n1 → out with Stages[0] as the
+// (+) input stage and Stages[1] as the (−) output stage, Stages[2] is
+// ignored, and only positions not touching n2 are legal.
+type Topology struct {
+	Name     string
+	TwoStage bool
+	Stages   [3]Stage
+	Conns    []Connection
+}
+
+// NumStages returns the skeleton depth (2 or 3).
+func (t *Topology) NumStages() int {
+	if t.TwoStage {
+		return 2
+	}
+	return 3
+}
+
+// activeStages returns the slice of stages actually instantiated.
+func (t *Topology) activeStages() []Stage {
+	return t.Stages[:t.NumStages()]
+}
+
+// Clone returns a deep copy.
+func (t *Topology) Clone() *Topology {
+	c := *t
+	c.Conns = append([]Connection(nil), t.Conns...)
+	return &c
+}
+
+// Validate checks stage parameters and every connection.
+func (t *Topology) Validate() error {
+	for i, s := range t.activeStages() {
+		if s.Gm <= 0 {
+			return fmt.Errorf("topology: stage %d has non-positive gm %g", i+1, s.Gm)
+		}
+		if s.A0 <= 1 {
+			return fmt.Errorf("topology: stage %d has implausible A0 %g", i+1, s.A0)
+		}
+	}
+	seen := map[Position]bool{}
+	for _, c := range t.Conns {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if c.Type == ConnNone {
+			continue
+		}
+		if t.TwoStage && (c.Pos.From == "n2" || c.Pos.To == "n2") {
+			return fmt.Errorf("topology: two-stage skeleton has no node n2 (connection at %v)", c.Pos)
+		}
+		if seen[c.Pos] {
+			return fmt.Errorf("topology: duplicate connection at %v", c.Pos)
+		}
+		seen[c.Pos] = true
+	}
+	return nil
+}
+
+// ConnAt returns the connection occupying pos, or nil.
+func (t *Topology) ConnAt(pos Position) *Connection {
+	for i := range t.Conns {
+		if t.Conns[i].Pos == pos && t.Conns[i].Type != ConnNone {
+			return &t.Conns[i]
+		}
+	}
+	return nil
+}
+
+// SetConn installs (or replaces) the connection at c.Pos.
+func (t *Topology) SetConn(c Connection) {
+	for i := range t.Conns {
+		if t.Conns[i].Pos == c.Pos {
+			t.Conns[i] = c
+			return
+		}
+	}
+	t.Conns = append(t.Conns, c)
+}
+
+// RemoveConn clears any connection at pos; it reports whether one existed.
+func (t *Topology) RemoveConn(pos Position) bool {
+	for i := range t.Conns {
+		if t.Conns[i].Pos == pos && t.Conns[i].Type != ConnNone {
+			t.Conns = append(t.Conns[:i], t.Conns[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Env is the operating environment a topology elaborates into.
+type Env struct {
+	CL  float64 // load capacitance, F
+	RL  float64 // load resistance, Ω
+	Dev DeviceModel
+}
+
+// DefaultEnv returns the paper's conditions: RL = 1 MΩ, CL = 10 pF.
+func DefaultEnv() Env {
+	return Env{CL: 10e-12, RL: 1e6, Dev: DefaultDeviceModel()}
+}
+
+// Elaborate lowers the topology to a behavioral netlist: the skeleton of
+// Fig. 1(b) (VCCS stages with lumped Ro/Cp), each connection expanded into
+// primitive devices, and the load. The AC excitation source "Vin" drives
+// node "in"; the opamp output is node "out".
+func (t *Topology) Elaborate(env Env) (*netlist.Netlist, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if env.CL <= 0 || env.RL <= 0 {
+		return nil, fmt.Errorf("topology: bad environment CL=%g RL=%g", env.CL, env.RL)
+	}
+	nl := netlist.New(t.Name)
+	nl.AddV("Vin", "in", "0", 1)
+
+	stageNodes := [][2]string{{"in", "n1"}, {"n1", "n2"}, {"n2", "out"}}
+	if t.TwoStage {
+		stageNodes = [][2]string{{"in", "n1"}, {"n1", "out"}}
+	}
+	last := len(stageNodes) - 1
+	for i, s := range t.activeStages() {
+		in, out := stageNodes[i][0], stageNodes[i][1]
+		name := fmt.Sprintf("Gm%d", i+1)
+		if i == last {
+			// The output stage is inverting: it sinks current from its
+			// output, closing the Miller loops as negative feedback.
+			nl.AddG(name, out, "0", in, "0", s.Gm)
+		} else {
+			nl.AddG(name, "0", out, in, "0", s.Gm)
+		}
+		nl.AddR(fmt.Sprintf("Ro%d", i+1), out, "0", s.A0/s.Gm)
+		nl.AddC(fmt.Sprintf("Cp%d", i+1), out, "0", env.Dev.Cp(s.Gm))
+	}
+
+	for i, c := range t.Conns {
+		if c.Type == ConnNone {
+			continue
+		}
+		if err := elaborateConn(nl, c, i, env.Dev); err != nil {
+			return nil, err
+		}
+	}
+
+	nl.AddR("RL", "out", "0", env.RL)
+	nl.AddC("CL", "out", "0", env.CL)
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: elaborated netlist invalid: %w", err)
+	}
+	return nl, nil
+}
+
+// connGmA0 is the intrinsic gain assumed for connection transconductors.
+const connGmA0 = 45.0
+
+// elaborateConn expands one connection into devices. Auxiliary nodes are
+// named x<i>a, x<i>b; device names carry the connection index.
+func elaborateConn(nl *netlist.Netlist, c Connection, i int, dev DeviceModel) error {
+	a, b := c.Pos.From, c.Pos.To
+	xa := fmt.Sprintf("x%da", i)
+	xb := fmt.Sprintf("x%db", i)
+	id := func(prefix string) string { return fmt.Sprintf("%s_c%d", prefix, i) }
+
+	// gmOut places a transconductor from node src driving node dst with
+	// the connection's polarity.
+	gmOut := func(src, dst string) {
+		if c.Type.Inverting() {
+			nl.AddG(id("Gf"), dst, "0", src, "0", c.Gm)
+		} else {
+			nl.AddG(id("Gf"), "0", dst, src, "0", c.Gm)
+		}
+	}
+
+	switch c.Type {
+	case ConnR:
+		nl.AddR(id("Rc"), a, b, c.R)
+	case ConnC:
+		nl.AddC(id("Cc"), a, b, c.C)
+	case ConnSeriesRC:
+		nl.AddR(id("Rc"), a, xa, c.R)
+		nl.AddC(id("Cc"), xa, b, c.C)
+	case ConnParallelRC:
+		nl.AddR(id("Rc"), a, b, c.R)
+		nl.AddC(id("Cc"), a, b, c.C)
+	case ConnGmP, ConnGmN:
+		gmOut(a, b)
+	case ConnGmPSeriesC, ConnGmNSeriesC:
+		gmOut(a, xa)
+		nl.AddR(id("Rg"), xa, "0", connGmA0/c.Gm)
+		nl.AddC(id("Cc"), xa, b, c.C)
+	case ConnGmPSeriesR, ConnGmNSeriesR:
+		gmOut(a, xa)
+		nl.AddR(id("Rg"), xa, "0", connGmA0/c.Gm)
+		nl.AddR(id("Rc"), xa, b, c.R)
+	case ConnGmPSeriesRC, ConnGmNSeriesRC:
+		gmOut(a, xa)
+		nl.AddR(id("Rg"), xa, "0", connGmA0/c.Gm)
+		nl.AddR(id("Rc"), xa, xb, c.R)
+		nl.AddC(id("Cc"), xb, b, c.C)
+	case ConnGmPParallelC, ConnGmNParallelC:
+		gmOut(a, b)
+		nl.AddC(id("Cc"), a, b, c.C)
+	case ConnBufC:
+		nl.AddE(id("Eb"), xa, "0", a, "0", 1)
+		nl.AddC(id("Cc"), xa, b, c.C)
+	case ConnBufR:
+		nl.AddE(id("Eb"), xa, "0", a, "0", 1)
+		nl.AddR(id("Rc"), xa, b, c.R)
+	case ConnBufRC:
+		nl.AddE(id("Eb"), xa, "0", a, "0", 1)
+		nl.AddR(id("Rc"), xa, xb, c.R)
+		nl.AddC(id("Cc"), xb, b, c.C)
+	case ConnDFCP, ConnDFCN:
+		// Damping-factor-control block shunting node a: gain stage Gm
+		// sensing xa and feeding a, with feedback capacitor C from a to
+		// xa and the stage's own output resistance at xa.
+		if c.Type == ConnDFCP {
+			nl.AddG(id("Gf"), a, "0", xa, "0", c.Gm)
+		} else {
+			nl.AddG(id("Gf"), "0", a, xa, "0", c.Gm)
+		}
+		nl.AddR(id("Rg"), xa, "0", connGmA0/c.Gm)
+		nl.AddC(id("Cc"), a, xa, c.C)
+	case ConnStageP, ConnStageN:
+		gmOut(a, b)
+		nl.AddR(id("Rg"), b, "0", connGmA0/c.Gm)
+		nl.AddC(id("Cg"), b, "0", dev.Cp(c.Gm))
+	case ConnCascodeC:
+		// Current-buffer compensation: C into a common-gate relay.
+		nl.AddC(id("Cc"), a, xa, c.C)
+		nl.AddR(id("Rg"), xa, "0", 1/c.Gm)
+		nl.AddG(id("Gf"), "0", b, xa, "0", c.Gm)
+	case ConnQFCP, ConnQFCN:
+		gmOut(a, xa)
+		nl.AddR(id("Rg"), xa, "0", connGmA0/c.Gm)
+		nl.AddC(id("Cc"), xa, b, c.C)
+		nl.AddR(id("Rc"), xa, b, c.R)
+	default:
+		return fmt.Errorf("topology: unhandled connection type %v", c.Type)
+	}
+	return nil
+}
+
+// Summary renders the topology compactly for logs and transcripts.
+func (t *Topology) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: gm=[", t.Name)
+	for i, s := range t.activeStages() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.3g", s.Gm)
+	}
+	b.WriteByte(']')
+	for _, c := range t.Conns {
+		if c.Type == ConnNone {
+			continue
+		}
+		fmt.Fprintf(&b, " %s@%s", c.Type, c.Pos)
+	}
+	return b.String()
+}

@@ -1,0 +1,174 @@
+// Package topology models the paper's three-stage opamp design space
+// (§2.2, Fig. 1): a fixed cascode skeleton of three transconductance
+// stages, plus tunable connections at a set of legitimate positions, each
+// realised by one of 25 connection types (§3.2.2). A Topology elaborates
+// to a behavioral netlist for the MNA simulator, and the package includes
+// the library of named compensation architectures (NMC, NMCF, DFCFC, …)
+// the design knowledge base reasons about.
+package topology
+
+import "fmt"
+
+// ConnType enumerates the 25 optional types a tunable connection can take
+// (the paper states 25 types per position without listing them; this
+// taxonomy spans the passive, active, buffered and damping structures the
+// three-stage compensation literature uses).
+type ConnType int
+
+const (
+	// ConnNone leaves the position open.
+	ConnNone ConnType = iota
+	// ConnR is a resistor between the endpoints.
+	ConnR
+	// ConnC is a capacitor (the plain Miller connection).
+	ConnC
+	// ConnSeriesRC is a nulling resistor in series with a capacitor.
+	ConnSeriesRC
+	// ConnParallelRC is a resistor in parallel with a capacitor.
+	ConnParallelRC
+	// ConnGmP is a forward transconductance (+ polarity).
+	ConnGmP
+	// ConnGmN is a forward transconductance (− polarity).
+	ConnGmN
+	// ConnGmPSeriesC couples a + transconductor through a series capacitor.
+	ConnGmPSeriesC
+	// ConnGmNSeriesC couples a − transconductor through a series capacitor.
+	ConnGmNSeriesC
+	// ConnGmPSeriesR couples a + transconductor through a series resistor.
+	ConnGmPSeriesR
+	// ConnGmNSeriesR couples a − transconductor through a series resistor.
+	ConnGmNSeriesR
+	// ConnGmPSeriesRC couples a + transconductor through R then C.
+	ConnGmPSeriesRC
+	// ConnGmNSeriesRC couples a − transconductor through R then C.
+	ConnGmNSeriesRC
+	// ConnGmPParallelC is a + transconductor with a bypass capacitor.
+	ConnGmPParallelC
+	// ConnGmNParallelC is a − transconductor with a bypass capacitor.
+	ConnGmNParallelC
+	// ConnBufC is a unity buffer driving a capacitor (level-shifted Miller).
+	ConnBufC
+	// ConnBufR is a unity buffer driving a resistor.
+	ConnBufR
+	// ConnBufRC is a unity buffer driving a series RC.
+	ConnBufRC
+	// ConnDFCP is a damping-factor-control block (+): a gain stage with a
+	// local feedback capacitor, acting as a frequency-dependent capacitor
+	// shunting the From node (To must be ground).
+	ConnDFCP
+	// ConnDFCN is the − polarity DFC block.
+	ConnDFCN
+	// ConnStageP is a full + gain stage (transconductor with its own
+	// output resistance and parasitic capacitance) from From to To.
+	ConnStageP
+	// ConnStageN is a full − gain stage.
+	ConnStageN
+	// ConnCascodeC is cascode (current-buffer) compensation: a capacitor
+	// into a common-gate transconductor that relays the current to To.
+	ConnCascodeC
+	// ConnQFCP is a + transconductor with series C damped by a parallel R.
+	ConnQFCP
+	// ConnQFCN is a − transconductor with series C damped by a parallel R.
+	ConnQFCN
+
+	// NumConnTypes is the size of the connection-type alphabet (25).
+	NumConnTypes = int(ConnQFCN) + 1
+)
+
+var connNames = [...]string{
+	"none", "R", "C", "RC-series", "RC-parallel",
+	"gm+", "gm-", "gm+C", "gm-C", "gm+R", "gm-R", "gm+RC", "gm-RC",
+	"gm+||C", "gm-||C", "buf-C", "buf-R", "buf-RC",
+	"DFC+", "DFC-", "stage+", "stage-", "cascode-C", "QFC+", "QFC-",
+}
+
+// String returns a short mnemonic for the type.
+func (t ConnType) String() string {
+	if t < 0 || int(t) >= len(connNames) {
+		return fmt.Sprintf("ConnType(%d)", int(t))
+	}
+	return connNames[t]
+}
+
+// HasGm reports whether the type instantiates a transconductor.
+func (t ConnType) HasGm() bool {
+	switch t {
+	case ConnGmP, ConnGmN, ConnGmPSeriesC, ConnGmNSeriesC, ConnGmPSeriesR,
+		ConnGmNSeriesR, ConnGmPSeriesRC, ConnGmNSeriesRC, ConnGmPParallelC,
+		ConnGmNParallelC, ConnDFCP, ConnDFCN, ConnStageP, ConnStageN,
+		ConnCascodeC, ConnQFCP, ConnQFCN:
+		return true
+	}
+	return false
+}
+
+// HasC reports whether the type instantiates a capacitor.
+func (t ConnType) HasC() bool {
+	switch t {
+	case ConnC, ConnSeriesRC, ConnParallelRC, ConnGmPSeriesC, ConnGmNSeriesC,
+		ConnGmPSeriesRC, ConnGmNSeriesRC, ConnGmPParallelC, ConnGmNParallelC,
+		ConnBufC, ConnBufRC, ConnDFCP, ConnDFCN, ConnCascodeC, ConnQFCP, ConnQFCN:
+		return true
+	}
+	return false
+}
+
+// HasR reports whether the type instantiates an explicit resistor
+// (transconductor output resistances don't count).
+func (t ConnType) HasR() bool {
+	switch t {
+	case ConnR, ConnSeriesRC, ConnParallelRC, ConnGmPSeriesR, ConnGmNSeriesR,
+		ConnGmPSeriesRC, ConnGmNSeriesRC, ConnBufR, ConnBufRC, ConnQFCP, ConnQFCN:
+		return true
+	}
+	return false
+}
+
+// Inverting reports whether a transconductor type has − polarity.
+func (t ConnType) Inverting() bool {
+	switch t {
+	case ConnGmN, ConnGmNSeriesC, ConnGmNSeriesR, ConnGmNSeriesRC,
+		ConnGmNParallelC, ConnDFCN, ConnStageN, ConnQFCN:
+		return true
+	}
+	return false
+}
+
+// ShuntOnly reports whether the type is a one-port that must terminate at
+// ground (DFC blocks).
+func (t ConnType) ShuntOnly() bool { return t == ConnDFCP || t == ConnDFCN }
+
+// SkeletonNodes are the five initial nodes of Fig. 1(a): the input, two
+// internal stage outputs, the opamp output, and ground.
+var SkeletonNodes = []string{"in", "n1", "n2", "out", "0"}
+
+// Position is an ordered pair of skeleton nodes a connection spans.
+type Position struct{ From, To string }
+
+func (p Position) String() string { return p.From + ">" + p.To }
+
+// LegalPositions lists the tunable positions of the design space:
+// forward couplings, feedback couplings, and the shunt position at each
+// internal node for DFC blocks.
+func LegalPositions() []Position {
+	return []Position{
+		{"in", "n2"}, {"in", "out"},
+		{"n1", "n2"}, {"n1", "out"}, {"n2", "out"},
+		{"n2", "n1"}, {"out", "n1"}, {"out", "n2"},
+		{"n1", "0"}, {"n2", "0"}, {"out", "0"},
+	}
+}
+
+// legalAt reports whether a type may occupy a position: shunt-only types
+// require a ground destination and vice versa; pure ground shunts accept
+// passive and DFC types only (a gm into ground is meaningless).
+func legalAt(t ConnType, p Position) bool {
+	if p.To == "0" {
+		switch t {
+		case ConnNone, ConnR, ConnC, ConnSeriesRC, ConnParallelRC, ConnDFCP, ConnDFCN:
+			return true
+		}
+		return false
+	}
+	return !t.ShuntOnly()
+}

@@ -1,0 +1,163 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"42", 42},
+		{"4p", 4e-12},
+		{"4pF", 4e-12},
+		{"4PF", 4e-12},
+		{"251.2u", 251.2e-6},
+		{"251.2uA", 251.2e-6},
+		{"1MEG", 1e6},
+		{"1MEGOhm", 1e6},
+		{"1m", 1e-3},
+		{"0.7MHz", 0.7e6},
+		{"5kHz", 5e3},
+		{"2GHz", 2e9},
+		{"100Hz", 100},
+		{"-3.5m", -3.5e-3},
+		{"1e-12", 1e-12},
+		{"2.5E6", 2.5e6},
+		{"1.5nF", 1.5e-9},
+		{"10fF", 10e-15},
+		{"3kOhm", 3e3},
+		{"1.8V", 1.8},
+		{"250uW", 250e-6},
+		{"55°", 55},
+		{"85dB", 85},
+		{"1T", 1e12},
+		{"1a", 1e-18},
+		{"1µ", 1e-6},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if !ApproxEqual(got, c.want, 1e-12) {
+			t.Errorf("Parse(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "  ", "abc", "1x", "1.2.3", "zF", "--3", "1e"} {
+		if v, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %g, want error", in, v)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{4e-12, "4p"},
+		{2.512e-4, "251.2u"},
+		{1e6, "1MEG"},
+		{-1e-3, "-1m"},
+		{1.5e3, "1.5k"},
+		{2e9, "2G"},
+		{3e12, "3T"},
+		{7e-15, "7f"},
+		{1e-18, "1a"},
+	}
+	for _, c := range cases {
+		if got := Format(c.in); got != c.want {
+			t.Errorf("Format(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatUnit(t *testing.T) {
+	if got := FormatUnit(4e-12, "F"); got != "4pF" {
+		t.Errorf("FormatUnit = %q, want 4pF", got)
+	}
+	if got := FormatUnit(1e6, "Ohm"); got != "1MOhm" {
+		t.Errorf("FormatUnit = %q, want 1MOhm", got)
+	}
+}
+
+func TestFormatSpecials(t *testing.T) {
+	if got := Format(math.NaN()); got != "NaN" {
+		t.Errorf("Format(NaN) = %q", got)
+	}
+	if got := Format(math.Inf(1)); got != "+Inf" {
+		t.Errorf("Format(+Inf) = %q", got)
+	}
+	if got := Format(math.Inf(-1)); got != "-Inf" {
+		t.Errorf("Format(-Inf) = %q", got)
+	}
+}
+
+// Round trip: Format then Parse recovers the value to 4 significant digits.
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(mant float64, exp int8) bool {
+		m := math.Abs(mant)
+		if m < 1e-3 || m > 1e3 || math.IsNaN(m) || math.IsInf(m, 0) {
+			return true // restrict to a sane mantissa range
+		}
+		e := int(exp)%25 - 12 // exponent in [-12, 12]
+		v := m * math.Pow(10, float64(e))
+		s := Format(v)
+		got, err := Parse(s)
+		if err != nil {
+			t.Logf("Parse(Format(%g)=%q) error: %v", v, s, err)
+			return false
+		}
+		return ApproxEqual(got, v, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		d := math.Mod(math.Abs(db), 200)
+		return ApproxEqual(DB(FromDB(d)), d, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !ApproxEqual(DB(10), 20, 1e-12) {
+		t.Errorf("DB(10) = %g, want 20", DB(10))
+	}
+}
+
+func TestDegRad(t *testing.T) {
+	if !ApproxEqual(Deg(math.Pi), 180, 1e-12) {
+		t.Errorf("Deg(pi) = %g", Deg(math.Pi))
+	}
+	if !ApproxEqual(Rad(90), math.Pi/2, 1e-12) {
+		t.Errorf("Rad(90) = %g", Rad(90))
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("not-a-number")
+}
