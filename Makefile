@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages must stay race-clean.
+race:
+	$(GO) test -race ./internal/jobs ./internal/server ./internal/experiment
+
+check: vet build test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

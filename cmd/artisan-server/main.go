@@ -1,38 +1,80 @@
 // Command artisan-server exposes the Artisan framework over HTTP/JSON —
 // the publicly accessible form promised by the paper's abstract.
 //
-//	artisan-server -addr :8080
+//	artisan-server -addr :8080 -workers 8 -queue 64
 //
 // Endpoints:
 //
-//	GET  /healthz        liveness
-//	GET  /groups         the Table 2 spec groups
-//	GET  /architectures  the knowledge base's architecture cards
-//	POST /design         {"group":"G-1"} or {"prompt":"gain >85dB, …"}
-//	POST /simulate       {"netlist":"V1 in 0 1\n…"}
+//	GET    /healthz        liveness + pool/cache counters
+//	GET    /groups         the Table 2 spec groups
+//	GET    /architectures  the knowledge base's architecture cards
+//	POST   /design         {"group":"G-1"} or {"prompt":"gain >85dB, …"} (waits)
+//	POST   /simulate       {"netlist":"V1 in 0 1\n…"}
+//	POST   /jobs           enqueue a design asynchronously → 202 + id
+//	GET    /jobs           list jobs with status counts
+//	GET    /jobs/{id}      poll one job (result embedded when done)
+//	DELETE /jobs/{id}      cancel a queued or running job
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// queued and running design jobs before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"artisan/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "design worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "pending job queue bound")
+		cacheSize = flag.Int("cache", 128, "design result cache entries")
+		jobTime   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+		drainTime = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+	)
 	flag.Parse()
 
+	svc := server.NewWithOptions(server.Options{
+		Workers: *workers, Queue: *queue, CacheSize: *cacheSize, JobTimeout: *jobTime,
+	})
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.New(),
+		Handler:      svc,
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 60 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("artisan-server listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal behaviour: a second ^C kills us
+		log.Printf("shutdown: draining connections and jobs (budget %s)", *drainTime)
 	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTime)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		log.Printf("job drain: %v", err)
+	}
+	log.Printf("artisan-server stopped")
 }

@@ -6,6 +6,7 @@
 //
 //	evaltable                       # full Table 3 (10 trials, budget 250)
 //	evaltable -trials 3 -budget 80  # quick run
+//	evaltable -workers 8            # parallel trials (identical results, less wall-clock)
 //	evaltable -fig7                 # chat logs of Artisan/GPT-4/Llama2
 //	evaltable -fig6                 # the example circuits
 package main
@@ -31,6 +32,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		groups  = flag.String("groups", "", "comma-separated group subset (default all)")
 		methods = flag.String("methods", "", "comma-separated method subset (default all)")
+		workers = flag.Int("workers", 1, "fan trials out over N workers (results identical to serial)")
 		fig6    = flag.Bool("fig6", false, "print the Fig. 6 example circuits instead")
 		fig7    = flag.Bool("fig7", false, "print the Fig. 7 chat logs instead")
 	)
@@ -48,6 +50,7 @@ func main() {
 	cfg := experiment.DefaultConfig(*seed)
 	cfg.Trials = *trials
 	cfg.Budget = *budget
+	cfg.Workers = *workers
 	if *groups != "" {
 		cfg.Groups = strings.Split(*groups, ",")
 	}

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"artisan/internal/agents"
+	"artisan/internal/jobs"
 	"artisan/internal/llm"
 	"artisan/internal/measure"
 	"artisan/internal/opt"
@@ -43,6 +45,11 @@ type Config struct {
 	Methods     []Method
 	Groups      []string // subset of G-1..G-5; empty = all
 	Cost        CostModel
+	// Workers > 1 fans trial runs out over a worker pool. Per-trial
+	// seeds are derived from (Seed, trial index, group), never from
+	// execution order, so the parallel harness produces byte-identical
+	// Table 3 cells to the serial one.
+	Workers int
 }
 
 // DefaultConfig reproduces the paper's protocol.
@@ -97,6 +104,9 @@ func Run(cfg Config) (*Table3, error) {
 		}
 		groups = sel
 	}
+	if cfg.Workers > 1 {
+		return runParallel(cfg, groups)
+	}
 	t3 := &Table3{Cfg: cfg}
 	for _, m := range cfg.Methods {
 		for _, g := range groups {
@@ -110,23 +120,74 @@ func Run(cfg Config) (*Table3, error) {
 	return t3, nil
 }
 
+// trialTask addresses one (method, group, trial) unit of the sweep.
+type trialTask struct {
+	m    Method
+	g    spec.Spec
+	seed int64
+}
+
+// runParallel fans every trial of every cell out over a jobs pool. Each
+// trial is seeded exactly as in the serial path and results are
+// reassembled in (method, group, trial) index order, so the resulting
+// Table 3 is byte-identical to a serial run with the same Config.
+func runParallel(cfg Config, groups []spec.Spec) (*Table3, error) {
+	var tasks []trialTask
+	for _, m := range cfg.Methods {
+		for _, g := range groups {
+			for i := 0; i < cfg.Trials; i++ {
+				tasks = append(tasks, trialTask{m: m, g: g, seed: trialSeed(cfg.Seed, i, g.Name)})
+			}
+		}
+	}
+	results, err := jobs.Map(context.Background(), cfg.Workers, tasks,
+		func(ctx context.Context, t trialTask) (trialResult, error) {
+			tr, err := runTrial(t.m, t.g, cfg, t.seed)
+			if err != nil {
+				return trialResult{}, fmt.Errorf("experiment: %s on %s: %w", t.m, t.g.Name, err)
+			}
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	t3 := &Table3{Cfg: cfg}
+	for ci := 0; ci*cfg.Trials < len(results); ci++ {
+		task := tasks[ci*cfg.Trials]
+		cell := aggregateCell(task.m, task.g, cfg, results[ci*cfg.Trials:(ci+1)*cfg.Trials])
+		t3.Cells = append(t3.Cells, cell)
+	}
+	return t3, nil
+}
+
 type trialResult struct {
 	ok   bool
 	rep  measure.Report
 	time time.Duration
 }
 
+// trialSeed derives the deterministic per-trial seed; it depends only on
+// the configured seed, trial index, and group — never execution order.
+func trialSeed(base int64, trial int, group string) int64 {
+	return base + int64(trial)*1009 + hashGroup(group)
+}
+
 func runCell(m Method, g spec.Spec, cfg Config) (Cell, error) {
-	cell := Cell{Method: m, Group: g.Name, Trials: cfg.Trials}
 	var results []trialResult
 	for i := 0; i < cfg.Trials; i++ {
-		seed := cfg.Seed + int64(i)*1009 + hashGroup(g.Name)
-		tr, err := runTrial(m, g, cfg, seed)
+		tr, err := runTrial(m, g, cfg, trialSeed(cfg.Seed, i, g.Name))
 		if err != nil {
-			return cell, err
+			return Cell{Method: m, Group: g.Name, Trials: cfg.Trials}, err
 		}
 		results = append(results, tr)
 	}
+	return aggregateCell(m, g, cfg, results), nil
+}
+
+// aggregateCell folds trial results into one Table 3 cell. Shared by the
+// serial and parallel harnesses so both produce identical cells.
+func aggregateCell(m Method, g spec.Spec, cfg Config, results []trialResult) Cell {
+	cell := Cell{Method: m, Group: g.Name, Trials: cfg.Trials}
 	var tsum time.Duration
 	for _, r := range results {
 		tsum += r.time
@@ -149,7 +210,7 @@ func runCell(m Method, g spec.Spec, cfg Config) (Cell, error) {
 		cell.FoM /= n
 	}
 	cell.Time = tsum / time.Duration(cfg.Trials)
-	return cell, nil
+	return cell
 }
 
 func runTrial(m Method, g spec.Spec, cfg Config, seed int64) (trialResult, error) {

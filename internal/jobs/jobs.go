@@ -1,0 +1,419 @@
+// Package jobs is the async execution layer of the Artisan service: a
+// generic job manager with a fixed-size worker pool, a bounded pending
+// queue with backpressure, per-job lifecycle driven by context
+// cancellation, panic recovery inside workers, and an LRU result cache
+// keyed by a caller-supplied canonical key. The server routes both the
+// synchronous /design endpoint and the async /jobs API through one
+// manager so service-wide concurrency stays bounded, and the experiment
+// harness reuses the same pool primitives to fan trial runs out.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Status is a job lifecycle state.
+type Status string
+
+// The lifecycle: queued → running → done | failed | cancelled. A queued
+// job may jump straight to cancelled.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Func is the unit of work. It must honour ctx cancellation to make
+// DELETE /jobs/{id} and shutdown deadlines effective mid-run.
+type Func func(ctx context.Context) (any, error)
+
+// Sentinel errors surfaced to callers.
+var (
+	// ErrQueueFull is the backpressure signal: the pending queue is at
+	// capacity and the job was rejected rather than blocking the caller.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrShutdown means the manager no longer accepts work.
+	ErrShutdown = errors.New("jobs: manager shut down")
+	// ErrNotFound means no job has the given id.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrFinished means the job already reached a terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+)
+
+// Job is one tracked unit of work.
+type Job struct {
+	id  string
+	fn  Func
+	key string
+
+	mu       sync.Mutex
+	status   Status
+	result   any
+	err      error
+	cached   bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status returns the current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Snapshot is a consistent copy of a job's observable state.
+type Snapshot struct {
+	ID       string
+	Status   Status
+	Cached   bool
+	Result   any
+	Err      string
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+}
+
+// Snapshot copies the job's state under its lock.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID: j.id, Status: j.status, Cached: j.cached, Result: j.result,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+	if j.err != nil {
+		s.Err = j.err.Error()
+	}
+	return s
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires,
+// returning the result and error of the run.
+func (j *Job) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusCancelled && j.err == nil {
+		return nil, context.Canceled
+	}
+	return j.result, j.err
+}
+
+// finish transitions to a terminal state exactly once.
+func (j *Job) finish(st Status, result any, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return false
+	}
+	j.status, j.result, j.err = st, result, err
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}
+
+// Config sizes a Manager. Zero values take defaults.
+type Config struct {
+	// Workers is the pool size; default runtime.GOMAXPROCS(0).
+	Workers int
+	// Queue bounds the pending queue; Submit rejects with ErrQueueFull
+	// beyond it. Default 64.
+	Queue int
+	// CacheSize bounds the LRU result cache entries. Default 128.
+	CacheSize int
+	// JobTimeout, when positive, is a per-job deadline; jobs exceeding
+	// it fail with context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// Retain bounds how many terminal jobs are kept for GET /jobs
+	// introspection before the oldest are pruned. Default 1024.
+	Retain int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue < 1 {
+		c.Queue = 64
+	}
+	if c.CacheSize < 1 {
+		c.CacheSize = 128
+	}
+	if c.Retain < 1 {
+		c.Retain = 1024
+	}
+	return c
+}
+
+// Manager owns the worker pool, the job registry, and the result cache.
+type Manager struct {
+	cfg   Config
+	cache *Cache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for List and pruning
+	seq    int64
+	closed bool
+}
+
+// NewManager starts the worker pool.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		cache:      NewCache(cfg.CacheSize),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.Queue),
+		jobs:       make(map[string]*Job),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Workers reports the pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// SubmitOpts tunes one submission.
+type SubmitOpts struct {
+	// Key, when non-empty, is the canonical cache key for the job's
+	// result. A cache hit completes the job instantly without running
+	// fn; a successful run stores its result under the key.
+	Key string
+}
+
+// Submit enqueues fn. It never blocks: when the pending queue is full it
+// returns ErrQueueFull so the caller can shed load.
+func (m *Manager) Submit(fn Func, opts SubmitOpts) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShutdown
+	}
+	m.seq++
+	j := &Job{
+		id:      fmt.Sprintf("j-%d", m.seq),
+		fn:      fn,
+		key:     opts.Key,
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	if opts.Key != "" {
+		if v, ok := m.cache.Get(opts.Key); ok {
+			j.cached = true
+			j.status = StatusDone
+			j.result = v
+			j.started, j.finished = j.created, j.created
+			close(j.done)
+			m.register(j)
+			return j, nil
+		}
+	}
+	select {
+	case m.queue <- j:
+		m.register(j)
+		return j, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// register must run with m.mu held.
+func (m *Manager) register(j *Job) {
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	// Prune the oldest terminal jobs beyond the retention bound so the
+	// registry cannot grow without limit under sustained traffic.
+	for len(m.order) > m.cfg.Retain {
+		pruned := false
+		for i, id := range m.order {
+			if old, ok := m.jobs[id]; ok && old.Status().Terminal() {
+				delete(m.jobs, id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			break // everything live; keep them all
+		}
+	}
+}
+
+// Get looks a job up by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List snapshots all retained jobs in submission order.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	js := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.jobs[id]; ok {
+			js = append(js, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]Snapshot, len(js))
+	for i, j := range js {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// Counts tallies jobs by status.
+func (m *Manager) Counts() map[Status]int {
+	counts := make(map[Status]int)
+	for _, s := range m.List() {
+		counts[s.Status]++
+	}
+	return counts
+}
+
+// Cancel stops a job: a queued job is marked cancelled immediately; a
+// running job has its context cancelled (the worker records the terminal
+// state when fn returns). Cancelling a finished job returns ErrFinished.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	switch {
+	case j.status.Terminal():
+		j.mu.Unlock()
+		return ErrFinished
+	case j.status == StatusRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default: // queued: finish here; the worker skips it on dequeue
+		j.status = StatusCancelled
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		return nil
+	}
+}
+
+// CacheStats reports the result cache's hit/miss counters and size.
+func (m *Manager) CacheStats() CacheStats { return m.cache.Stats() }
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job with panic recovery and cancellation handling.
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	if j.status.Terminal() { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	if m.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, m.cfg.JobTimeout)
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	result, err := m.invoke(ctx, j)
+	switch {
+	case err == nil:
+		if j.key != "" {
+			m.cache.Add(j.key, result)
+		}
+		j.finish(StatusDone, result, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(ctx.Err(), context.Canceled):
+		j.finish(StatusCancelled, nil, err)
+	default:
+		j.finish(StatusFailed, nil, err)
+	}
+}
+
+// invoke calls fn, converting a panic into an error so one bad job
+// cannot take a worker (or the process) down.
+func (m *Manager) invoke(ctx context.Context, j *Job) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: job %s panicked: %v", j.id, r)
+		}
+	}()
+	return j.fn(ctx)
+}
+
+// Shutdown stops intake, drains queued and running jobs, and waits for
+// the workers to exit. If ctx expires first, running jobs are cancelled
+// via their contexts and the ctx error is returned.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // interrupt running jobs
+		<-drained
+		return ctx.Err()
+	}
+}

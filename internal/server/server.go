@@ -1,44 +1,93 @@
 // Package server exposes the Artisan framework as a JSON HTTP service —
 // the "released for public access" form of the paper's abstract. The API
 // is deliberately small: design from a spec group or a natural-language
-// prompt, simulate a netlist, and introspect the knowledge base.
+// prompt (synchronously via POST /design or asynchronously via the
+// /jobs API), simulate a netlist, and introspect the knowledge base.
+//
+// All design work — synchronous and asynchronous alike — is routed
+// through one jobs.Manager worker pool, so service-wide design
+// concurrency is bounded and repeated requests hit the LRU result cache
+// instead of re-running the multi-agent session.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
+	"mime"
 	"net/http"
+	"strings"
 	"time"
 
 	"artisan/internal/core"
 	"artisan/internal/experiment"
+	"artisan/internal/jobs"
 	"artisan/internal/llm"
 	"artisan/internal/measure"
 	"artisan/internal/netlist"
 	"artisan/internal/spec"
 )
 
+// maxBodyBytes bounds every POST body (resource guard).
+const maxBodyBytes = 1 << 20 // 1 MiB
+
+// Options configures the service.
+type Options struct {
+	// MaxTreeWidth bounds client-requested ToT width (resource guard).
+	MaxTreeWidth int
+	// Workers sizes the design worker pool; default GOMAXPROCS.
+	Workers int
+	// Queue bounds the pending job queue; default 64.
+	Queue int
+	// CacheSize bounds the design-result LRU cache; default 128.
+	CacheSize int
+	// JobTimeout, when positive, deadline-bounds each design run.
+	JobTimeout time.Duration
+}
+
 // Server holds the service configuration.
 type Server struct {
 	mux *http.ServeMux
 	// MaxTreeWidth bounds client-requested ToT width (resource guard).
 	MaxTreeWidth int
+	jobs         *jobs.Manager
 }
 
-// New builds the service with all routes registered.
-func New() *Server {
-	s := &Server{mux: http.NewServeMux(), MaxTreeWidth: 4}
+// New builds the service with default options.
+func New() *Server { return NewWithOptions(Options{}) }
+
+// NewWithOptions builds the service with all routes registered.
+func NewWithOptions(o Options) *Server {
+	if o.MaxTreeWidth < 1 {
+		o.MaxTreeWidth = 4
+	}
+	s := &Server{
+		mux:          http.NewServeMux(),
+		MaxTreeWidth: o.MaxTreeWidth,
+		jobs: jobs.NewManager(jobs.Config{
+			Workers: o.Workers, Queue: o.Queue,
+			CacheSize: o.CacheSize, JobTimeout: o.JobTimeout,
+		}),
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /groups", s.handleGroups)
 	s.mux.HandleFunc("GET /architectures", s.handleArchitectures)
 	s.mux.HandleFunc("POST /design", s.handleDesign)
 	s.mux.HandleFunc("POST /simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the design worker pool (used for graceful exit).
+func (s *Server) Shutdown(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -50,8 +99,38 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// decodeJSON hardens POST body handling: non-JSON Content-Type → 415,
+// body over maxBodyBytes → 413, malformed JSON → 400. It reports whether
+// decoding succeeded; on failure the error response is already written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && !strings.HasSuffix(mt, "+json")) {
+			writeErr(w, http.StatusUnsupportedMediaType,
+				fmt.Errorf("unsupported Content-Type %q: use application/json", ct))
+			return false
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"jobs":   s.jobs.Counts(),
+		"cache":  s.jobs.CacheStats(),
+	})
 }
 
 // groupJSON is the wire form of a spec group.
@@ -66,7 +145,7 @@ type groupJSON struct {
 }
 
 func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
-	var out []groupJSON
+	out := []groupJSON{}
 	for _, g := range spec.Groups() {
 		out = append(out, groupJSON{
 			Name: g.Name, MinGainDB: g.MinGainDB, MinGBWHz: g.MinGBW,
@@ -84,14 +163,14 @@ func (s *Server) handleArchitectures(w http.ResponseWriter, r *http.Request) {
 		MaxGBWHz  float64 `json:"maxGBWHz"`
 		Rationale string  `json:"rationale"`
 	}
-	var out []arch
+	out := []arch{}
 	for _, p := range llm.DomainProfiles() {
 		out = append(out, arch{Name: p.Arch, MaxCLF: p.MaxCL, MaxGBWHz: p.MaxGBW, Rationale: p.Rationale})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// DesignRequest is the POST /design body.
+// DesignRequest is the POST /design and POST /jobs body.
 type DesignRequest struct {
 	Group       string  `json:"group,omitempty"`
 	Prompt      string  `json:"prompt,omitempty"`
@@ -102,7 +181,8 @@ type DesignRequest struct {
 	Transcript  bool    `json:"transcript,omitempty"`
 }
 
-// DesignResponse is the POST /design reply.
+// DesignResponse is the POST /design reply (and the result payload of a
+// finished design job).
 type DesignResponse struct {
 	Success    bool              `json:"success"`
 	Arch       string            `json:"arch,omitempty"`
@@ -114,6 +194,9 @@ type DesignResponse struct {
 	Transcript string            `json:"transcript,omitempty"`
 	Session    map[string]int    `json:"session"`
 	ModeledRun *modeledDurations `json:"modeledRuntime,omitempty"`
+	// Cached reports that the result came from the design cache rather
+	// than a fresh agent session.
+	Cached bool `json:"cached,omitempty"`
 }
 
 type metricsJSON struct {
@@ -133,12 +216,9 @@ type modeledDurations struct {
 	Artisan string `json:"artisan"`
 }
 
-func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
-	var req DesignRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
-		return
-	}
+// parseDesignRequest validates a decoded request and resolves its spec.
+// A non-nil error carries the HTTP status to write.
+func (s *Server) parseDesignRequest(req *DesignRequest) (spec.Spec, error) {
 	var sp spec.Spec
 	var err error
 	switch {
@@ -150,52 +230,199 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		err = fmt.Errorf("provide group or prompt")
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
+		return sp, err
 	}
 	if req.TreeWidth < 1 {
 		req.TreeWidth = 1
 	}
 	if req.TreeWidth > s.MaxTreeWidth {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("treeWidth %d exceeds limit %d", req.TreeWidth, s.MaxTreeWidth))
-		return
+		return sp, fmt.Errorf("treeWidth %d exceeds limit %d", req.TreeWidth, s.MaxTreeWidth)
 	}
 	if req.Temperature < 0 || req.Temperature > 1 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("temperature %g out of [0,1]", req.Temperature))
+		return sp, fmt.Errorf("temperature %g out of [0,1]", req.Temperature)
+	}
+	return sp, nil
+}
+
+// designKey canonicalizes (spec, options, seed) for the result cache.
+// The spec fields — not the raw group/prompt strings — form the key, so
+// a group request and the equivalent prompt request share an entry.
+func designKey(sp spec.Spec, req DesignRequest) string {
+	return fmt.Sprintf("design|gain=%g|gbw=%g|pm=%g|pow=%g|cl=%g|rl=%g|vdd=%g|seed=%d|temp=%g|width=%d|tune=%t|chat=%t",
+		sp.MinGainDB, sp.MinGBW, sp.MinPM, sp.MaxPower, sp.CL, sp.RL, sp.VDD,
+		req.Seed, req.Temperature, req.TreeWidth, req.Tune, req.Transcript)
+}
+
+// designFunc builds the pool job that runs the full workflow.
+func designFunc(sp spec.Spec, req DesignRequest) jobs.Func {
+	return func(ctx context.Context) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		a := core.NewWithModel(llm.NewDomainModel(req.Seed, req.Temperature))
+		a.Opts.TreeWidth = req.TreeWidth
+		a.Opts.Tune = req.Tune
+		out, err := a.Design(sp)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err // cancelled mid-run: discard the result
+		}
+		resp := &DesignResponse{
+			Success:    out.Success,
+			Arch:       out.Arch,
+			FailReason: out.FailReason,
+			Session:    map[string]int{"qaSteps": out.QACount, "simulations": out.SimCount},
+		}
+		if out.Success {
+			resp.Metrics = toMetricsJSON(out.Report)
+			resp.FoM = sp.FoMOf(out.Report)
+			resp.Netlist = out.Netlist.String()
+			if out.Transistor != nil {
+				resp.Transistor = out.Transistor.String()
+			}
+			cm := experiment.DefaultCostModel()
+			resp.ModeledRun = &modeledDurations{
+				Artisan: cm.ArtisanTime(out.SimCount, out.QACount, true).Round(time.Second).String(),
+			}
+		}
+		if req.Transcript {
+			resp.Transcript = out.Transcript.Chat()
+		}
+		return resp, nil
+	}
+}
+
+// submitDesign validates, canonicalizes, and enqueues a design request.
+func (s *Server) submitDesign(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	var req DesignRequest
+	if !decodeJSON(w, r, &req) {
+		return nil, false
+	}
+	sp, err := s.parseDesignRequest(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	j, err := s.jobs.Submit(designFunc(sp, req), jobs.SubmitOpts{Key: designKey(sp, req)})
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return nil, false
+	case errors.Is(err, jobs.ErrShutdown):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return nil, false
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+		return nil, false
+	}
+	return j, true
+}
+
+// handleDesign keeps the synchronous API: the request still runs on the
+// shared pool (bounding server-wide concurrency and hitting the cache),
+// but the handler waits for completion before replying.
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.submitDesign(w, r)
+	if !ok {
 		return
 	}
-
-	a := core.NewWithModel(llm.NewDomainModel(req.Seed, req.Temperature))
-	a.Opts.TreeWidth = req.TreeWidth
-	a.Opts.Tune = req.Tune
-	out, err := a.Design(sp)
+	res, err := j.Wait(r.Context())
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-
-	resp := DesignResponse{
-		Success:    out.Success,
-		Arch:       out.Arch,
-		FailReason: out.FailReason,
-		Session:    map[string]int{"qaSteps": out.QACount, "simulations": out.SimCount},
-	}
-	if out.Success {
-		resp.Metrics = toMetricsJSON(out.Report)
-		resp.FoM = sp.FoMOf(out.Report)
-		resp.Netlist = out.Netlist.String()
-		if out.Transistor != nil {
-			resp.Transistor = out.Transistor.String()
-		}
-		cm := experiment.DefaultCostModel()
-		resp.ModeledRun = &modeledDurations{
-			Artisan: cm.ArtisanTime(out.SimCount, out.QACount, true).Round(time.Second).String(),
-		}
-	}
-	if req.Transcript {
-		resp.Transcript = out.Transcript.Chat()
+	resp := res.(*DesignResponse)
+	if j.Snapshot().Cached {
+		cp := *resp
+		cp.Cached = true
+		resp = &cp
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// jobJSON is the wire form of a job snapshot.
+type jobJSON struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	Cached   bool   `json:"cached,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	Result   any    `json:"result,omitempty"`
+}
+
+func toJobJSON(s jobs.Snapshot, includeResult bool) jobJSON {
+	out := jobJSON{
+		ID: s.ID, Status: string(s.Status), Cached: s.Cached, Error: s.Err,
+		Created: s.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if !s.Started.IsZero() {
+		out.Started = s.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !s.Finished.IsZero() {
+		out.Finished = s.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	if includeResult && s.Status == jobs.StatusDone {
+		out.Result = s.Result
+	}
+	return out
+}
+
+// handleJobSubmit enqueues a design asynchronously: 202 + job id.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.submitDesign(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, toJobJSON(j.Snapshot(), false))
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, jobs.ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobJSON(j.Snapshot(), true))
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.jobs.List()
+	list := []jobJSON{}
+	for _, sn := range snaps {
+		list = append(list, toJobJSON(sn, false))
+	}
+	counts := map[string]int{}
+	for _, sn := range snaps {
+		counts[string(sn.Status)]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":   list,
+		"counts": counts,
+		"cache":  s.jobs.CacheStats(),
+	})
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch err := s.jobs.Cancel(id); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "cancelling"})
+	case errors.Is(err, jobs.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, jobs.ErrFinished):
+		writeErr(w, http.StatusConflict, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, err)
+	}
 }
 
 func toMetricsJSON(rep measure.Report) *metricsJSON {
@@ -218,8 +445,7 @@ type SimulateRequest struct {
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Out == "" {
