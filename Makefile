@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race chaos check bench
 
 all: check
 
@@ -15,9 +15,14 @@ test:
 
 # The concurrency-heavy packages must stay race-clean.
 race:
-	$(GO) test -race ./internal/jobs ./internal/server ./internal/experiment
+	$(GO) test -race ./internal/jobs ./internal/server ./internal/experiment \
+		./internal/resilience ./internal/agents
 
-check: vet build test race
+# Chaos smoke: deterministic fault-injection suite, run twice.
+chaos:
+	$(GO) test ./internal/resilience/... -race -count=2
+
+check: vet build test race chaos
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

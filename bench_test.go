@@ -10,6 +10,7 @@
 package artisan
 
 import (
+	"context"
 	"testing"
 
 	"artisan/internal/agents"
@@ -108,7 +109,7 @@ func BenchmarkFig2Workflow(b *testing.B) {
 	succ := 0
 	for i := 0; i < b.N; i++ {
 		a := core.NewWithModel(llm.NewDomainModel(int64(i), 0))
-		out, err := a.Design(g1)
+		out, err := a.Design(context.Background(), g1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkFig5MultiAgent(b *testing.B) {
 	g1, _ := spec.Group("G-1")
 	var qa int
 	for i := 0; i < b.N; i++ {
-		out, err := agents.NewSession(llm.NewDomainModel(int64(i), 0), g1, agents.DefaultOptions()).Run()
+		out, err := agents.NewSession(llm.NewDomainModel(int64(i), 0), g1, agents.DefaultOptions()).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func BenchmarkFig7ChatLogs(b *testing.B) {
 	llama := llm.NewLlama2Model()
 	var chatLen int
 	for i := 0; i < b.N; i++ {
-		out, err := agents.NewSession(llm.NewDomainModel(1, 0), g1, agents.DefaultOptions()).Run()
+		out, err := agents.NewSession(llm.NewDomainModel(1, 0), g1, agents.DefaultOptions()).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +215,7 @@ func BenchmarkAblationToTWidth(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opts := agents.DefaultOptions()
 				opts.TreeWidth = width
-				out, err := agents.NewSession(llm.NewDomainModel(int64(i), 0.22), g3, opts).Run()
+				out, err := agents.NewSession(llm.NewDomainModel(int64(i), 0.22), g3, opts).Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -240,7 +241,7 @@ func BenchmarkAblationModification(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opts := agents.DefaultOptions()
 				opts.MaxModifications = mods
-				out, err := agents.NewSession(llm.NewDomainModel(int64(i), 0.3), g5, opts).Run()
+				out, err := agents.NewSession(llm.NewDomainModel(int64(i), 0.3), g5, opts).Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -265,7 +266,7 @@ func BenchmarkAblationTuning(b *testing.B) {
 				opts := agents.DefaultOptions()
 				opts.Tune = tune
 				opts.MaxModifications = 0
-				out, err := agents.NewSession(llm.NewDomainModel(int64(i)+100, 0.45), g4, opts).Run()
+				out, err := agents.NewSession(llm.NewDomainModel(int64(i)+100, 0.45), g4, opts).Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -415,7 +416,7 @@ func BenchmarkTwoStageWorkflow(b *testing.B) {
 		MaxPower: 150e-6, CL: 5e-12, RL: 1e6, VDD: 1.8}
 	succ := 0
 	for i := 0; i < b.N; i++ {
-		out, err := agents.NewSession(llm.NewDomainModel(int64(i), 0), sp, agents.DefaultOptions()).Run()
+		out, err := agents.NewSession(llm.NewDomainModel(int64(i), 0), sp, agents.DefaultOptions()).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

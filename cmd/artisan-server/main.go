@@ -5,7 +5,8 @@
 //
 // Endpoints:
 //
-//	GET    /healthz        liveness + pool/cache counters
+//	GET    /healthz        liveness + pool/cache/resilience counters
+//	GET    /stats          resilience counters, breaker state, chaos config
 //	GET    /groups         the Table 2 spec groups
 //	GET    /architectures  the knowledge base's architecture cards
 //	POST   /design         {"group":"G-1"} or {"prompt":"gain >85dB, …"} (waits)
@@ -40,11 +41,20 @@ func main() {
 		cacheSize = flag.Int("cache", 128, "design result cache entries")
 		jobTime   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
 		drainTime = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+		retryMax  = flag.Int("retry-max", 3, "retry attempts per designer/simulator call")
+		breakThr  = flag.Int("breaker-threshold", 5, "consecutive failures that open the circuit breaker")
+		toolTime  = flag.Duration("tool-timeout", 0, "per-attempt tool deadline (0 = none)")
+		faultRate = flag.Float64("fault-rate", 0, "chaos mode: probability each designer/simulator call fails")
 	)
 	flag.Parse()
 
+	if *faultRate < 0 || *faultRate > 1 {
+		log.Fatalf("-fault-rate %g out of [0,1]", *faultRate)
+	}
 	svc := server.NewWithOptions(server.Options{
 		Workers: *workers, Queue: *queue, CacheSize: *cacheSize, JobTimeout: *jobTime,
+		RetryMax: *retryMax, BreakerThreshold: *breakThr,
+		ToolTimeout: *toolTime, FaultRate: *faultRate,
 	})
 	srv := &http.Server{
 		Addr:         *addr,

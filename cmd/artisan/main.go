@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"artisan/internal/core"
 	"artisan/internal/experiment"
@@ -72,8 +75,11 @@ func main() {
 	a.Opts.MaxModifications = *mods
 	a.Opts.Tune = *tune
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Println("Spec:", sp)
-	out, err := a.Design(sp)
+	out, err := a.Design(ctx, sp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "artisan:", err)
 		os.Exit(1)

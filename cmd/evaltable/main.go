@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"artisan/internal/agents"
 	"artisan/internal/core"
@@ -60,7 +63,9 @@ func main() {
 			cfg.Methods = append(cfg.Methods, experiment.Method(m))
 		}
 	}
-	t3, err := experiment.Run(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	t3, err := experiment.RunContext(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaltable:", err)
 		os.Exit(1)
@@ -88,7 +93,7 @@ func printFig7() {
 	g5, _ := spec.Group("G-5")
 
 	a := core.NewWithModel(llm.NewDomainModel(1, 0))
-	out, err := a.Design(g1)
+	out, err := a.Design(context.Background(), g1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaltable:", err)
 		os.Exit(1)
@@ -96,7 +101,7 @@ func printFig7() {
 	fmt.Println("############ A chat log example of Artisan (G-1) ############")
 	fmt.Println(out.Transcript.Chat())
 
-	out5, err := a.Design(g5)
+	out5, err := a.Design(context.Background(), g5)
 	if err == nil {
 		fmt.Println("######## Artisan follow-up: the CL = 1 nF modification ########")
 		fmt.Println(out5.Transcript.Chat())
@@ -139,7 +144,7 @@ func printFig6(seed int64, budget int) {
 
 	a := core.NewWithModel(llm.NewDomainModel(seed, 0))
 	a.Opts = agents.DefaultOptions()
-	out, err := a.Design(g1)
+	out, err := a.Design(context.Background(), g1)
 	if err != nil || !out.Success {
 		fmt.Fprintln(os.Stderr, "evaltable: Artisan example failed")
 		os.Exit(1)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,14 +41,14 @@ func main() {
 	}
 
 	for _, m := range []llm.DesignerModel{llm.NewGPT4Model(), llm.NewLlama2Model()} {
-		out, err := agents.NewSession(m, g3, agents.DefaultOptions()).Run()
+		out, err := agents.NewSession(m, g3, agents.DefaultOptions()).Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-7s: success=%-5v (%s)\n", m.Name(), out.Success, clip(out.FailReason, 80))
 	}
 
-	out, err := agents.NewSession(llm.NewDomainModel(3, 0), g3, agents.DefaultOptions()).Run()
+	out, err := agents.NewSession(llm.NewDomainModel(3, 0), g3, agents.DefaultOptions()).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

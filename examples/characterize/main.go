@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -35,7 +36,7 @@ func splitLines(s string) []string {
 func main() {
 	g1, _ := spec.Group("G-1")
 	a := core.NewWithModel(llm.NewDomainModel(1, 0))
-	out, err := a.Design(g1)
+	out, err := a.Design(context.Background(), g1)
 	if err != nil || !out.Success {
 		log.Fatalf("design failed: %v %s", err, out.FailReason)
 	}

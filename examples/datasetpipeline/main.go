@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -71,7 +72,7 @@ func main() {
 
 	// 5. …and drives a full design session.
 	g1, _ := spec.Group("G-1")
-	out, err := agents.NewSession(model, g1, agents.DefaultOptions()).Run()
+	out, err := agents.NewSession(model, g1, agents.DefaultOptions()).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sim := agents.NewSimulator()
-	rep10, err := sim.MeasureTopology(nmc.Topo, g1)
+	rep10, err := sim.MeasureTopology(context.Background(), nmc.Topo, g1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func main() {
 	fmt.Println("  verdict:", spec.Describe(g1.Check(rep10)))
 
 	// Step 2: the same circuit against the 1 nF load.
-	rep1n, err := sim.MeasureTopology(nmc.Topo, g5)
+	rep1n, err := sim.MeasureTopology(context.Background(), nmc.Topo, g5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func main() {
 	// Step 3: what would brute force cost? Scale gm3 back up.
 	brute := nmc.Topo.Clone()
 	brute.Stages[2].Gm *= 100 // gm3 ∝ CL in plain NMC
-	if repB, err := sim.MeasureTopology(brute, g5); err == nil {
+	if repB, err := sim.MeasureTopology(context.Background(), brute, g5); err == nil {
 		fmt.Printf("\nbrute-force NMC (gm3 ×100): %v\n", repB)
 		fmt.Println("  verdict:", spec.Describe(g5.Check(repB)))
 	}
@@ -55,7 +56,7 @@ func main() {
 	// Step 4: let the full multi-agent session handle it — the failure
 	// description routes to the DFC modification card.
 	model := llm.NewDomainModel(1, 0)
-	out, err := agents.NewSession(model, g5, agents.DefaultOptions()).Run()
+	out, err := agents.NewSession(model, g5, agents.DefaultOptions()).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	// Knowledge-driven design (deterministic expert).
 	model := llm.NewDomainModel(3, 0)
 	session := agents.NewSession(model, g4, agents.DefaultOptions())
-	out, err := session.Run()
+	out, err := session.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func main() {
 	// BO refinement on top: tune the continuous parameters for FoM
 	// subject to the specs.
 	tuner := agents.NewTuner(session.Sim, 7)
-	tuned, rep, score, err := tuner.Tune(out.Topology, g4)
+	tuned, rep, score, err := tuner.Tune(context.Background(), out.Topology, g4)
 	if err != nil {
 		log.Fatal(err)
 	}

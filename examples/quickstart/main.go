@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	artisan := core.NewWithModel(llm.NewDomainModel(1, 0))
 
 	// 2. Design.
-	out, err := artisan.Design(g1)
+	out, err := artisan.Design(context.Background(), g1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package agents
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 func TestArtisanSessionG1(t *testing.T) {
 	g1, _ := spec.Group("G-1")
 	s := NewSession(llm.NewDomainModel(1, 0), g1, DefaultOptions())
-	out, err := s.Run()
+	out, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestArtisanSessionG1(t *testing.T) {
 func TestArtisanSessionAllGroups(t *testing.T) {
 	for _, g := range spec.Groups() {
 		s := NewSession(llm.NewDomainModel(3, 0), g, DefaultOptions())
-		out, err := s.Run()
+		out, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", g.Name, err)
 		}
@@ -57,7 +58,7 @@ func TestArtisanSessionAllGroups(t *testing.T) {
 func TestGPT4SessionFails(t *testing.T) {
 	g1, _ := spec.Group("G-1")
 	s := NewSession(llm.NewGPT4Model(), g1, DefaultOptions())
-	out, err := s.Run()
+	out, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestGPT4SessionFails(t *testing.T) {
 func TestLlama2SessionFails(t *testing.T) {
 	g1, _ := spec.Group("G-1")
 	s := NewSession(llm.NewLlama2Model(), g1, DefaultOptions())
-	out, err := s.Run()
+	out, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestLlama2SessionFails(t *testing.T) {
 func TestModificationReachesDFCFC(t *testing.T) {
 	g5, _ := spec.Group("G-5")
 	m := llm.NewDomainModel(2, 0)
-	mod, err := m.ProposeModification(g5, describeFailure(g5, measure.Report{
+	mod, err := m.ProposeModification(context.Background(), g5, describeFailure(g5, measure.Report{
 		GainDB: 100, GBW: 0.1e6, PM: 10, Power: 100e-6, Stable: true}))
 	if err != nil {
 		t.Fatal(err)
@@ -105,7 +106,7 @@ func TestTreeWidthExploresCandidates(t *testing.T) {
 	opts := DefaultOptions()
 	opts.TreeWidth = 3
 	s := NewSession(llm.NewDomainModel(4, 0), g1, opts)
-	out, err := s.Run()
+	out, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestTunerRescuesDetunedDesign(t *testing.T) {
 	// A detuned NMC: gm3 too small (PM/GBW will miss).
 	topo := topology.NMC(10e-6, 15e-6, 60e-6, 4e-12, 3e-12)
 	sim := NewSimulator()
-	rep, err := sim.MeasureTopology(topo, g1)
+	rep, err := sim.MeasureTopology(context.Background(), topo, g1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestTunerRescuesDetunedDesign(t *testing.T) {
 		t.Fatal("test premise broken: detuned design already passes")
 	}
 	tuner := NewTuner(sim, 7)
-	tuned, tunedRep, score, err := tuner.Tune(topo, g1)
+	tuned, tunedRep, score, err := tuner.Tune(context.Background(), topo, g1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestScoreOrdering(t *testing.T) {
 func TestCalculatorTool(t *testing.T) {
 	c := NewCalculator()
 	c.Env().Set("CL", 10e-12)
-	outStr, err := c.Invoke("gm3 = 8*pi*1MEG*CL")
+	outStr, err := c.Invoke(context.Background(), "gm3 = 8*pi*1MEG*CL")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ G1 0 out in 0 1m
 Ro out 0 1MEG
 CL out 0 10p
 .end`
-	outStr, err := sim.Invoke(src)
+	outStr, err := sim.Invoke(context.Background(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,14 +202,14 @@ CL out 0 10p
 	if sim.Invocations != 1 {
 		t.Errorf("invocations = %d", sim.Invocations)
 	}
-	if _, err := sim.Invoke("garbage"); err == nil {
+	if _, err := sim.Invoke(context.Background(), "garbage"); err == nil {
 		t.Error("bad netlist accepted")
 	}
 }
 
 func TestTunerInvokeIsStructuredOnly(t *testing.T) {
 	tu := NewTuner(NewSimulator(), 1)
-	if _, err := tu.Invoke("anything"); err == nil {
+	if _, err := tu.Invoke(context.Background(), "anything"); err == nil {
 		t.Error("text invoke should be refused")
 	}
 	if tu.Name() != "tuner" || tu.Describe() == "" {
@@ -273,7 +274,7 @@ func TestSessionWithHotPrompter(t *testing.T) {
 	g1, _ := spec.Group("G-1")
 	s := NewSession(llm.NewDomainModel(1, 0), g1, DefaultOptions())
 	s.Prompter = NewPrompter(3, 0.6)
-	out, err := s.Run()
+	out, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestSessionWithHotPrompter(t *testing.T) {
 	}
 	// Identical design result to the canonical-prompter session.
 	s2 := NewSession(llm.NewDomainModel(1, 0), g1, DefaultOptions())
-	out2, err := s2.Run()
+	out2, err := s2.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

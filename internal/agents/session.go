@@ -1,12 +1,14 @@
 package agents
 
 import (
+	"context"
 	"fmt"
 
 	"artisan/internal/design"
 	"artisan/internal/llm"
 	"artisan/internal/measure"
 	"artisan/internal/netlist"
+	"artisan/internal/resilience"
 	"artisan/internal/spec"
 	"artisan/internal/topology"
 )
@@ -30,6 +32,27 @@ func DefaultOptions() Options {
 	return Options{TreeWidth: 1, MaxModifications: 1, Tune: false}
 }
 
+// Resilience configures the session's fault-tolerance ladder. Nil on the
+// Session means fail-fast: every tool and model call gets exactly one
+// attempt, reproducing the paper's idealized flow.
+type Resilience struct {
+	// Retry guards the designer decisions and the simulator path. The
+	// zero value means single attempts.
+	Retry resilience.RetryPolicy
+	// Breaker, when non-nil, guards the simulator and sizer backends: a
+	// failure streak short-circuits further calls until the cooldown.
+	Breaker *resilience.Breaker
+	// Fallback is the degradation ladder's last rung: when the primary
+	// designer keeps failing ProposeArchitectures/ProposeKnobs after
+	// retries, the session degrades to this model (in production the
+	// deterministic retrieval model) and records the degradation in the
+	// transcript and outcome.
+	Fallback llm.DesignerModel
+	// Counters receives every resilience event; allocated on first use
+	// when nil.
+	Counters *resilience.Counters
+}
+
 // Outcome is the result of a session.
 type Outcome struct {
 	Success    bool
@@ -42,6 +65,12 @@ type Outcome struct {
 	SimCount   int
 	QACount    int
 	FailReason string
+	// Degraded reports that the session fell back to the Resilience
+	// fallback model after the primary designer's repeated failures.
+	Degraded bool
+	// Resilience snapshots the session's fault-tolerance counters
+	// (zero-valued when no ladder was configured).
+	Resilience resilience.Snapshot
 }
 
 // FoM returns the achieved figure of merit under the session spec.
@@ -56,6 +85,11 @@ type Session struct {
 	Opts     Options
 	Sim      *Simulator
 	Tuner    *Tuner
+	// Res, when non-nil, enables the fault-tolerance ladder: retries with
+	// backoff around designer and simulator calls, a circuit breaker on
+	// the simulator/sizer backends, and graceful degradation to a
+	// fallback designer.
+	Res *Resilience
 }
 
 // NewSession builds a session for a designer model and spec. The default
@@ -67,18 +101,77 @@ func NewSession(m llm.DesignerModel, sp spec.Spec, opts Options) *Session {
 		Sim: sim, Tuner: NewTuner(sim, 1)}
 }
 
+// counters returns the session's resilience counters, allocating them on
+// first use; nil when no resilience is configured.
+func (s *Session) counters() *resilience.Counters {
+	if s.Res == nil {
+		return nil
+	}
+	if s.Res.Counters == nil {
+		s.Res.Counters = &resilience.Counters{}
+	}
+	return s.Res.Counters
+}
+
+// retryDo runs fn under the session retry policy, or once when no
+// resilience is configured.
+func (s *Session) retryDo(ctx context.Context, op string, fn func(context.Context) error) error {
+	if s.Res == nil {
+		return fn(ctx)
+	}
+	p := s.Res.Retry
+	if p.Counters == nil {
+		p.Counters = s.counters()
+	}
+	return p.Do(ctx, op, fn)
+}
+
+// measure runs one simulator measurement through the breaker (when
+// configured) and the retry policy, so transient simulator faults are
+// retried and a failure streak opens the circuit instead of hammering a
+// broken backend.
+func (s *Session) measure(ctx context.Context, nl *netlist.Netlist) (measure.Report, error) {
+	var rep measure.Report
+	err := s.retryDo(ctx, "simulator", func(ctx context.Context) error {
+		var breaker *resilience.Breaker
+		if s.Res != nil {
+			breaker = s.Res.Breaker
+		}
+		return breaker.Do(ctx, "simulator", func(ctx context.Context) error {
+			r, err := s.Sim.MeasureNetlist(ctx, nl)
+			if err == nil {
+				rep = r
+			}
+			return err
+		})
+	})
+	return rep, err
+}
+
 // Run executes the session. The returned outcome always carries the
 // transcript, even on failure (the failed GPT-4/Llama2 logs of Fig. 7 are
-// exactly such transcripts).
-func (s *Session) Run() (*Outcome, error) {
+// exactly such transcripts). Cancellation of ctx — a killed job, an
+// expired deadline — aborts the flow at the next stage boundary and
+// returns the context's error wrapped; no outcome is fabricated for a
+// caller that has gone away.
+func (s *Session) Run(ctx context.Context) (*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tr := &Transcript{Model: s.Designer.Name()}
 	out := &Outcome{Transcript: tr}
 	fail := func(reason string) (*Outcome, error) {
 		out.FailReason = reason
 		out.SimCount = s.Sim.Invocations
 		out.QACount = tr.QACount()
+		out.Resilience = s.counters().Snapshot()
 		tr.Add(RoleVerdict, "session failed: "+reason)
 		return out, nil
+	}
+	degrade := func(stage string, err error) {
+		out.Degraded = true
+		tr.Add(RoleTool, fmt.Sprintf("[resilience] %s degraded to fallback model %s: %v",
+			stage, s.Res.Fallback.Name(), err))
 	}
 
 	// --- ToT decision point 1: architecture selection ---
@@ -86,7 +179,10 @@ func (s *Session) Run() (*Outcome, error) {
 	if width < 1 {
 		width = 1
 	}
-	choices, err := s.Designer.ProposeArchitectures(s.Spec, width)
+	choices, err := s.proposeArchitectures(ctx, width, degrade)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("agents: session cancelled: %w", cerr)
+	}
 	if err != nil {
 		tr.QA(s.Spec.Prompt(), "(no viable architecture proposed) "+err.Error())
 		return fail("architecture selection failed: " + err.Error())
@@ -104,8 +200,14 @@ func (s *Session) Run() (*Outcome, error) {
 		reason string
 	}
 	runFlow := func(arch string) (*attempt, error) {
-		knobs, err := s.Designer.ProposeKnobs(arch, s.Spec)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		knobs, err := s.proposeKnobs(ctx, arch, degrade)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
 			return &attempt{arch: arch, reason: err.Error()}, nil
 		}
 		res, err := design.Design(arch, s.Spec, knobs)
@@ -126,8 +228,11 @@ func (s *Session) Run() (*Outcome, error) {
 		if err != nil {
 			return &attempt{arch: arch, res: res, reason: err.Error()}, nil
 		}
-		rep, err := s.Sim.MeasureNetlist(nl)
+		rep, err := s.measure(ctx, nl)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
 			return &attempt{arch: arch, res: res, nl: nl, reason: err.Error()}, nil
 		}
 		tr.ToolCall("simulator", arch+" behavioral netlist", rep.String())
@@ -144,7 +249,7 @@ func (s *Session) Run() (*Outcome, error) {
 	for _, c := range choices {
 		a, err := runFlow(c.Arch)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("agents: session aborted: %w", err)
 		}
 		if best == nil || (a.ok && !best.ok) ||
 			(a.ok == best.ok && a.rep.GBW > 0 && Score(s.Spec, a.rep) > Score(s.Spec, best.rep)) {
@@ -166,9 +271,15 @@ func (s *Session) Run() (*Outcome, error) {
 
 	// --- ToT decision point 2: modification after failed verification ---
 	for iter := 0; iter < s.Opts.MaxModifications && !best.ok; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("agents: session cancelled: %w", err)
+		}
 		failure := describeFailure(s.Spec, best.rep)
-		mod, err := s.Designer.ProposeModification(s.Spec, failure)
+		mod, err := s.proposeModification(ctx, failure)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("agents: session cancelled: %w", err)
+			}
 			tr.QA("The design fails verification: "+failure+" How to modify the architecture?",
 				"(no modification strategy) "+err.Error())
 			break
@@ -183,7 +294,7 @@ func (s *Session) Run() (*Outcome, error) {
 		}
 		a, err := runFlow(mod.NewArch)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("agents: session aborted: %w", err)
 		}
 		if a.res != nil && (a.ok || Score(s.Spec, a.rep) > Score(s.Spec, best.rep)) {
 			best = a
@@ -191,9 +302,9 @@ func (s *Session) Run() (*Outcome, error) {
 	}
 
 	// --- Last resort: the BO parameter-tuning tool ---
-	if !best.ok && s.Opts.Tune && best.res != nil {
+	if !best.ok && s.Opts.Tune && best.res != nil && ctx.Err() == nil {
 		tr.Add(RoleTool, "[tuner] invoking Bayesian-optimization parameter tuning")
-		tuned, rep, score, err := s.Tuner.Tune(best.res.Topo, s.Spec)
+		tuned, rep, score, err := s.tune(ctx, best.res.Topo)
 		if err == nil {
 			tr.ToolCall("tuner", "tune "+best.arch, rep.String())
 			if s.Spec.Satisfied(rep) || score > Score(s.Spec, best.rep) {
@@ -208,6 +319,9 @@ func (s *Session) Run() (*Outcome, error) {
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("agents: session cancelled: %w", err)
+	}
 
 	out.Success = best.ok
 	out.Arch = best.arch
@@ -217,6 +331,7 @@ func (s *Session) Run() (*Outcome, error) {
 	out.Topology = best.res.Topo
 	out.SimCount = s.Sim.Invocations
 	out.QACount = tr.QACount()
+	out.Resilience = s.counters().Snapshot()
 	if !best.ok {
 		out.FailReason = best.reason
 		tr.Add(RoleVerdict, "session failed: "+best.reason)
@@ -225,6 +340,91 @@ func (s *Session) Run() (*Outcome, error) {
 			"The final netlist with parameters instantiated is as follows...\n"+best.nl.String())
 	}
 	return out, nil
+}
+
+// proposeArchitectures is the first rung of the degradation ladder:
+// retried primary designer, then the fallback model.
+func (s *Session) proposeArchitectures(ctx context.Context, width int, degrade func(string, error)) ([]llm.ArchChoice, error) {
+	var primaryErr error
+	primary := func(ctx context.Context) ([]llm.ArchChoice, error) {
+		var cs []llm.ArchChoice
+		err := s.retryDo(ctx, "ProposeArchitectures", func(ctx context.Context) error {
+			var err error
+			cs, err = s.Designer.ProposeArchitectures(ctx, s.Spec, width)
+			return err
+		})
+		primaryErr = err
+		return cs, err
+	}
+	if s.Res == nil || s.Res.Fallback == nil {
+		return primary(ctx)
+	}
+	cs, err := resilience.Fallback(ctx, s.counters(), primary,
+		func(ctx context.Context) ([]llm.ArchChoice, error) {
+			return s.Res.Fallback.ProposeArchitectures(ctx, s.Spec, width)
+		})
+	if err == nil && primaryErr != nil {
+		degrade("architecture selection", primaryErr)
+	}
+	return cs, err
+}
+
+// proposeKnobs mirrors proposeArchitectures for the CoT design knobs.
+func (s *Session) proposeKnobs(ctx context.Context, arch string, degrade func(string, error)) (design.Knobs, error) {
+	var primaryErr error
+	primary := func(ctx context.Context) (design.Knobs, error) {
+		var k design.Knobs
+		err := s.retryDo(ctx, "ProposeKnobs", func(ctx context.Context) error {
+			var err error
+			k, err = s.Designer.ProposeKnobs(ctx, arch, s.Spec)
+			return err
+		})
+		primaryErr = err
+		return k, err
+	}
+	if s.Res == nil || s.Res.Fallback == nil {
+		return primary(ctx)
+	}
+	k, err := resilience.Fallback(ctx, s.counters(), primary,
+		func(ctx context.Context) (design.Knobs, error) {
+			return s.Res.Fallback.ProposeKnobs(ctx, arch, s.Spec)
+		})
+	if err == nil && primaryErr != nil {
+		degrade("knob derivation for "+arch, primaryErr)
+	}
+	return k, err
+}
+
+// proposeModification retries the second ToT decision; there is no
+// fallback here — a session that cannot modify simply keeps its best
+// attempt, which is already graceful.
+func (s *Session) proposeModification(ctx context.Context, failure string) (llm.Modification, error) {
+	var mod llm.Modification
+	err := s.retryDo(ctx, "ProposeModification", func(ctx context.Context) error {
+		var err error
+		mod, err = s.Designer.ProposeModification(ctx, s.Spec, failure)
+		return err
+	})
+	return mod, err
+}
+
+// tune runs the BO sizer through the breaker so a broken simulator
+// backend opens the circuit instead of burning the tuning budget.
+func (s *Session) tune(ctx context.Context, topo *topology.Topology) (*topology.Topology, measure.Report, float64, error) {
+	if s.Res == nil || s.Res.Breaker == nil {
+		return s.Tuner.Tune(ctx, topo, s.Spec)
+	}
+	var (
+		tuned *topology.Topology
+		rep   measure.Report
+		score float64
+	)
+	err := s.Res.Breaker.Do(ctx, "sizer", func(ctx context.Context) error {
+		var err error
+		tuned, rep, score, err = s.Tuner.Tune(ctx, topo, s.Spec)
+		return err
+	})
+	return tuned, rep, score, err
 }
 
 func knownArch(name string) bool {

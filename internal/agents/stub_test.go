@@ -1,6 +1,7 @@
 package agents
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func (m *stubModel) Name() string { return "stub" }
 func (m *stubModel) Generate(prompt string) (string, error) {
 	return "stub answer", nil
 }
-func (m *stubModel) ProposeArchitectures(s spec.Spec, k int) ([]llm.ArchChoice, error) {
+func (m *stubModel) ProposeArchitectures(ctx context.Context, s spec.Spec, k int) ([]llm.ArchChoice, error) {
 	if m.archErr != nil {
 		return nil, m.archErr
 	}
@@ -34,13 +35,13 @@ func (m *stubModel) ProposeArchitectures(s spec.Spec, k int) ([]llm.ArchChoice, 
 	}
 	return out, nil
 }
-func (m *stubModel) ProposeKnobs(arch string, s spec.Spec) (design.Knobs, error) {
+func (m *stubModel) ProposeKnobs(ctx context.Context, arch string, s spec.Spec) (design.Knobs, error) {
 	if m.knobsFor != nil {
 		return m.knobsFor(arch)
 	}
 	return design.DefaultKnobs(arch, s)
 }
-func (m *stubModel) ProposeModification(s spec.Spec, failure string) (llm.Modification, error) {
+func (m *stubModel) ProposeModification(ctx context.Context, s spec.Spec, failure string) (llm.Modification, error) {
 	return m.mod, m.modErr
 }
 
@@ -57,7 +58,7 @@ func TestSessionModificationToUnknownArch(t *testing.T) {
 		knobsFor: func(string) (design.Knobs, error) { return detunedKnobs(), nil },
 		mod:      llm.Modification{NewArch: "MPMC", Rationale: "try multipath"},
 	}
-	out, err := NewSession(m, g1, DefaultOptions()).Run()
+	out, err := NewSession(m, g1, DefaultOptions()).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestSessionModificationProposalError(t *testing.T) {
 		knobsFor: func(string) (design.Knobs, error) { return detunedKnobs(), nil },
 		modErr:   fmt.Errorf("no idea"),
 	}
-	out, err := NewSession(m, g1, DefaultOptions()).Run()
+	out, err := NewSession(m, g1, DefaultOptions()).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestSessionEmptyModification(t *testing.T) {
 		knobsFor: func(string) (design.Knobs, error) { return detunedKnobs(), nil },
 		mod:      llm.Modification{NewArch: "", Rationale: "increase the number of stages"},
 	}
-	out, err := NewSession(m, g1, DefaultOptions()).Run()
+	out, err := NewSession(m, g1, DefaultOptions()).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestSessionTuneRescue(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxModifications = 0
 	opts.Tune = true
-	out, err := NewSession(m, g1, opts).Run()
+	out, err := NewSession(m, g1, opts).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestSessionDesignProcedureError(t *testing.T) {
 			return design.Knobs{"GBWMargin": 1.4, "Cm1": -4e-12, "Cm2Ratio": 0.75}, nil
 		},
 	}
-	out, err := NewSession(m, g1, DefaultOptions()).Run()
+	out, err := NewSession(m, g1, DefaultOptions()).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestSessionWidthPicksVerifiedBest(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.TreeWidth = 2
-	out, err := NewSession(m, g1, opts).Run()
+	out, err := NewSession(m, g1, opts).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package agents
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -16,16 +17,20 @@ import (
 	"artisan/internal/calc"
 	"artisan/internal/measure"
 	"artisan/internal/netlist"
+	"artisan/internal/resilience"
 	"artisan/internal/sizing"
 	"artisan/internal/spec"
 	"artisan/internal/topology"
 )
 
 // Tool is an auxiliary capability an agent can invoke by instruction.
+// Invocations take a context: tool backends are the slow, failure-prone
+// edge of the agent loop, and a cancelled session or an expired
+// per-stage deadline must stop them instead of wedging a worker.
 type Tool interface {
 	Name() string
 	Describe() string
-	Invoke(input string) (string, error)
+	Invoke(ctx context.Context, input string) (string, error)
 }
 
 // Calculator wraps a calc session as a tool (the Fig. 7 Q3→A3 helper).
@@ -45,7 +50,12 @@ func (c *Calculator) Describe() string {
 }
 
 // Invoke evaluates one expression line.
-func (c *Calculator) Invoke(input string) (string, error) { return c.sess.Run(input) }
+func (c *Calculator) Invoke(ctx context.Context, input string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return c.sess.Run(input)
+}
 
 // Env exposes the underlying environment for preloading spec values.
 func (c *Calculator) Env() *calc.Env { return c.sess.Env() }
@@ -55,6 +65,11 @@ func (c *Calculator) Env() *calc.Env { return c.sess.Env() }
 // which drives the evaluation's modeled wall-clock time.
 type Simulator struct {
 	Invocations int
+	// Faults, when non-nil, is the chaos-mode hook: every measurement
+	// first consults the seeded injector, which may fail the call, stall
+	// it until the context gives up, or corrupt the report while keeping
+	// it parseable. Nil means the simulator is healthy.
+	Faults *resilience.Injector
 }
 
 // NewSimulator returns a fresh simulator tool.
@@ -69,12 +84,12 @@ func (s *Simulator) Describe() string {
 }
 
 // Invoke parses netlist text and measures it.
-func (s *Simulator) Invoke(input string) (string, error) {
+func (s *Simulator) Invoke(ctx context.Context, input string) (string, error) {
 	nl, err := netlist.Parse(input)
 	if err != nil {
 		return "", fmt.Errorf("agents: simulator: %w", err)
 	}
-	rep, err := s.MeasureNetlist(nl)
+	rep, err := s.MeasureNetlist(ctx, nl)
 	if err != nil {
 		return "", err
 	}
@@ -82,21 +97,34 @@ func (s *Simulator) Invoke(input string) (string, error) {
 }
 
 // MeasureNetlist measures a parsed netlist at node "out".
-func (s *Simulator) MeasureNetlist(nl *netlist.Netlist) (measure.Report, error) {
+func (s *Simulator) MeasureNetlist(ctx context.Context, nl *netlist.Netlist) (measure.Report, error) {
+	if err := ctx.Err(); err != nil {
+		return measure.Report{}, err
+	}
 	s.Invocations++
-	return measure.Analyze(nl, "out")
+	f, err := s.Faults.Apply(ctx, "simulator")
+	if err != nil {
+		return measure.Report{}, err
+	}
+	rep, err := measure.Analyze(nl, "out")
+	if err == nil && f == resilience.FaultCorrupt {
+		// Corrupted-but-parseable: the report decodes fine but the GBW is
+		// three orders off, so only spec verification can catch it.
+		rep.GBW *= 1e-3
+	}
+	return rep, err
 }
 
 // MeasureTopology elaborates a topology under the spec's load and
 // measures it.
-func (s *Simulator) MeasureTopology(topo *topology.Topology, sp spec.Spec) (measure.Report, error) {
+func (s *Simulator) MeasureTopology(ctx context.Context, topo *topology.Topology, sp spec.Spec) (measure.Report, error) {
 	env := topology.DefaultEnv()
 	env.CL, env.RL = sp.CL, sp.RL
 	nl, err := topo.Elaborate(env)
 	if err != nil {
 		return measure.Report{}, err
 	}
-	return s.MeasureNetlist(nl)
+	return s.MeasureNetlist(ctx, nl)
 }
 
 // Tuner wraps the Bayesian-optimization sizing tool [14]: it tunes the
@@ -122,7 +150,7 @@ func (t *Tuner) Describe() string {
 }
 
 // Invoke is informational; real invocations go through Tune.
-func (t *Tuner) Invoke(input string) (string, error) {
+func (t *Tuner) Invoke(ctx context.Context, input string) (string, error) {
 	return "", fmt.Errorf("agents: tuner requires a structured topology; use Tune")
 }
 
@@ -155,7 +183,10 @@ func Score(sp spec.Spec, rep measure.Report) float64 {
 // Tune optimizes the topology's continuous parameters in log space within
 // ±4× of their current values. It returns the best topology found, its
 // report, and the achieved score.
-func (t *Tuner) Tune(topo *topology.Topology, sp spec.Spec) (*topology.Topology, measure.Report, float64, error) {
+func (t *Tuner) Tune(ctx context.Context, topo *topology.Topology, sp spec.Spec) (*topology.Topology, measure.Report, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, measure.Report{}, 0, err
+	}
 	type slot struct {
 		set func(tp *topology.Topology, v float64)
 		cur float64
@@ -197,7 +228,9 @@ func (t *Tuner) Tune(topo *topology.Topology, sp spec.Spec) (*topology.Topology,
 		return tp
 	}
 	prob := sizing.Problem{Lo: lo, Hi: hi, Eval: func(x []float64) float64 {
-		rep, err := t.Sim.MeasureTopology(build(x), sp)
+		// A dead context poisons every remaining evaluation so the BO
+		// loop drains quickly instead of burning its full budget.
+		rep, err := t.Sim.MeasureTopology(ctx, build(x), sp)
 		if err != nil {
 			return -100
 		}
@@ -207,8 +240,11 @@ func (t *Tuner) Tune(topo *topology.Topology, sp spec.Spec) (*topology.Topology,
 	if err != nil {
 		return nil, measure.Report{}, 0, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, measure.Report{}, 0, err
+	}
 	best := build(res.BestX)
-	rep, err := t.Sim.MeasureTopology(best, sp)
+	rep, err := t.Sim.MeasureTopology(ctx, best, sp)
 	if err != nil {
 		return nil, measure.Report{}, 0, err
 	}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,6 +17,7 @@ import (
 	"artisan/internal/corpus"
 	"artisan/internal/gmid"
 	"artisan/internal/llm"
+	"artisan/internal/resilience"
 	"artisan/internal/spec"
 	"artisan/internal/units"
 )
@@ -26,6 +28,12 @@ type Artisan struct {
 	Opts  agents.Options
 	Tech  gmid.Tech
 	Plan  gmid.StagePlan
+	// Res, when non-nil, is the fault-tolerance ladder every session runs
+	// with: retries, circuit breaker, fallback designer.
+	Res *agents.Resilience
+	// Faults, when non-nil, runs every session in chaos mode: the
+	// designer and the simulator share this seeded injector.
+	Faults *resilience.Injector
 }
 
 // New returns an Artisan driven by the knowledge-engine Artisan-LLM at
@@ -53,10 +61,16 @@ type Output struct {
 	Transistor *gmid.Netlist
 }
 
-// Design runs the full workflow for a spec.
-func (a *Artisan) Design(sp spec.Spec) (*Output, error) {
+// Design runs the full workflow for a spec. Cancelling ctx aborts the
+// session at the next stage boundary.
+func (a *Artisan) Design(ctx context.Context, sp spec.Spec) (*Output, error) {
 	session := agents.NewSession(a.Model, sp, a.Opts)
-	out, err := session.Run()
+	session.Res = a.Res
+	if a.Faults != nil {
+		session.Designer = llm.NewChaosDesigner(a.Model, a.Faults)
+		session.Sim.Faults = a.Faults
+	}
+	out, err := session.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -79,12 +93,12 @@ func (a *Artisan) Design(sp spec.Spec) (*Output, error) {
 
 // DesignPrompt parses a natural-language spec request (the Q0 format of
 // Fig. 7) and runs the workflow.
-func (a *Artisan) DesignPrompt(prompt string) (*Output, error) {
+func (a *Artisan) DesignPrompt(ctx context.Context, prompt string) (*Output, error) {
 	sp, err := ParsePrompt(prompt)
 	if err != nil {
 		return nil, err
 	}
-	return a.Design(sp)
+	return a.Design(ctx, sp)
 }
 
 // ParsePrompt extracts a Spec from a natural-language request like

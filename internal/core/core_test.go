@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func TestDesignG1EndToEnd(t *testing.T) {
 	a := NewWithModel(llm.NewDomainModel(1, 0)) // deterministic
 	g1, _ := spec.Group("G-1")
-	out, err := a.Design(g1)
+	out, err := a.Design(context.Background(), g1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestDesignG1EndToEnd(t *testing.T) {
 func TestDesignAllGroupsDeterministic(t *testing.T) {
 	for _, g := range spec.Groups() {
 		a := NewWithModel(llm.NewDomainModel(2, 0))
-		out, err := a.Design(g)
+		out, err := a.Design(context.Background(), g)
 		if err != nil {
 			t.Fatalf("%s: %v", g.Name, err)
 		}
@@ -98,7 +99,7 @@ func TestParsePromptErrors(t *testing.T) {
 
 func TestDesignPrompt(t *testing.T) {
 	a := NewWithModel(llm.NewDomainModel(3, 0))
-	out, err := a.DesignPrompt("gain >85dB, PM >55°, GBW >0.7MHz, Power <250uW, CL = 10pF")
+	out, err := a.DesignPrompt(context.Background(), "gain >85dB, PM >55°, GBW >0.7MHz, Power <250uW, CL = 10pF")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestBaselineModelsThroughWorkflow(t *testing.T) {
 	g1, _ := spec.Group("G-1")
 	for _, m := range []llm.DesignerModel{llm.NewGPT4Model(), llm.NewLlama2Model()} {
 		a := NewWithModel(m)
-		out, err := a.Design(g1)
+		out, err := a.Design(context.Background(), g1)
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}
@@ -137,7 +138,7 @@ func TestTrainPipelineEndToEnd(t *testing.T) {
 	}
 	// The trained Artisan still designs G-1.
 	g1, _ := spec.Group("G-1")
-	out, err := a.Design(g1)
+	out, err := a.Design(context.Background(), g1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestTrainPipelineEndToEnd(t *testing.T) {
 // comes out as a mapped two-stage circuit.
 func TestTwoStageEndToEnd(t *testing.T) {
 	a := NewWithModel(llm.NewDomainModel(6, 0))
-	out, err := a.DesignPrompt("gain >70dB, PM >55°, GBW >2MHz, Power <150uW, CL = 5pF")
+	out, err := a.DesignPrompt(context.Background(), "gain >70dB, PM >55°, GBW >2MHz, Power <150uW, CL = 5pF")
 	if err != nil {
 		t.Fatal(err)
 	}

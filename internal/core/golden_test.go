@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -20,7 +21,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func TestGoldenTranscript(t *testing.T) {
 	a := NewWithModel(llm.NewDomainModel(1, 0))
 	g1, _ := spec.Group("G-1")
-	out, err := a.Design(g1)
+	out, err := a.Design(context.Background(), g1)
 	if err != nil || !out.Success {
 		t.Fatalf("design failed: %v", err)
 	}

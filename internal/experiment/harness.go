@@ -11,6 +11,7 @@ import (
 	"artisan/internal/llm"
 	"artisan/internal/measure"
 	"artisan/internal/opt"
+	"artisan/internal/resilience"
 	"artisan/internal/spec"
 	"artisan/internal/units"
 )
@@ -50,6 +51,13 @@ type Config struct {
 	// execution order, so the parallel harness produces byte-identical
 	// Table 3 cells to the serial one.
 	Workers int
+	// FaultRate, when positive, runs the Artisan trials in chaos mode:
+	// every designer call fails with that probability (seeded per trial,
+	// so the chaotic sweep is reproducible) and the session runs with
+	// the resilience ladder — retries plus fallback to the deterministic
+	// retrieval model — that production uses. The acceptance bar is that
+	// Table 3 success rates stay within the no-fault band.
+	FaultRate float64
 }
 
 // DefaultConfig reproduces the paper's protocol.
@@ -86,6 +94,13 @@ type Table3 struct {
 
 // Run executes the comparison.
 func Run(cfg Config) (*Table3, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the comparison under a context: cancellation stops
+// the sweep between trials (and mid-trial inside the agent sessions) and
+// returns the context's error instead of a partial table.
+func RunContext(ctx context.Context, cfg Config) (*Table3, error) {
 	if cfg.Trials < 1 {
 		return nil, fmt.Errorf("experiment: trials must be >= 1")
 	}
@@ -105,12 +120,12 @@ func Run(cfg Config) (*Table3, error) {
 		groups = sel
 	}
 	if cfg.Workers > 1 {
-		return runParallel(cfg, groups)
+		return runParallel(ctx, cfg, groups)
 	}
 	t3 := &Table3{Cfg: cfg}
 	for _, m := range cfg.Methods {
 		for _, g := range groups {
-			cell, err := runCell(m, g, cfg)
+			cell, err := runCell(ctx, m, g, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: %s on %s: %w", m, g.Name, err)
 			}
@@ -131,7 +146,7 @@ type trialTask struct {
 // trial is seeded exactly as in the serial path and results are
 // reassembled in (method, group, trial) index order, so the resulting
 // Table 3 is byte-identical to a serial run with the same Config.
-func runParallel(cfg Config, groups []spec.Spec) (*Table3, error) {
+func runParallel(ctx context.Context, cfg Config, groups []spec.Spec) (*Table3, error) {
 	var tasks []trialTask
 	for _, m := range cfg.Methods {
 		for _, g := range groups {
@@ -140,9 +155,9 @@ func runParallel(cfg Config, groups []spec.Spec) (*Table3, error) {
 			}
 		}
 	}
-	results, err := jobs.Map(context.Background(), cfg.Workers, tasks,
+	results, err := jobs.Map(ctx, cfg.Workers, tasks,
 		func(ctx context.Context, t trialTask) (trialResult, error) {
-			tr, err := runTrial(t.m, t.g, cfg, t.seed)
+			tr, err := runTrial(ctx, t.m, t.g, cfg, t.seed)
 			if err != nil {
 				return trialResult{}, fmt.Errorf("experiment: %s on %s: %w", t.m, t.g.Name, err)
 			}
@@ -172,10 +187,13 @@ func trialSeed(base int64, trial int, group string) int64 {
 	return base + int64(trial)*1009 + hashGroup(group)
 }
 
-func runCell(m Method, g spec.Spec, cfg Config) (Cell, error) {
+func runCell(ctx context.Context, m Method, g spec.Spec, cfg Config) (Cell, error) {
 	var results []trialResult
 	for i := 0; i < cfg.Trials; i++ {
-		tr, err := runTrial(m, g, cfg, trialSeed(cfg.Seed, i, g.Name))
+		if err := ctx.Err(); err != nil {
+			return Cell{Method: m, Group: g.Name, Trials: cfg.Trials}, err
+		}
+		tr, err := runTrial(ctx, m, g, cfg, trialSeed(cfg.Seed, i, g.Name))
 		if err != nil {
 			return Cell{Method: m, Group: g.Name, Trials: cfg.Trials}, err
 		}
@@ -213,7 +231,10 @@ func aggregateCell(m Method, g spec.Spec, cfg Config, results []trialResult) Cel
 	return cell
 }
 
-func runTrial(m Method, g spec.Spec, cfg Config, seed int64) (trialResult, error) {
+func runTrial(ctx context.Context, m Method, g spec.Spec, cfg Config, seed int64) (trialResult, error) {
+	if err := ctx.Err(); err != nil {
+		return trialResult{}, err
+	}
 	switch m {
 	case MethodBOBO:
 		res, err := opt.BOBO(g, cfg.Budget, seed)
@@ -244,7 +265,7 @@ func runTrial(m Method, g spec.Spec, cfg Config, seed int64) (trialResult, error
 		} else {
 			model = llm.NewLlama2Model()
 		}
-		out, err := agents.NewSession(model, g, agents.DefaultOptions()).Run()
+		out, err := agents.NewSession(model, g, agents.DefaultOptions()).Run(ctx)
 		if err != nil {
 			return trialResult{}, err
 		}
@@ -252,8 +273,19 @@ func runTrial(m Method, g spec.Spec, cfg Config, seed int64) (trialResult, error
 		// complete a run.
 		return trialResult{ok: out.Success, rep: out.Report}, nil
 	case MethodArtisan:
-		model := llm.NewDomainModel(seed, cfg.Temperature)
-		out, err := agents.NewSession(model, g, agents.DefaultOptions()).Run()
+		var designer llm.DesignerModel = llm.NewDomainModel(seed, cfg.Temperature)
+		sess := agents.NewSession(designer, g, agents.DefaultOptions())
+		if cfg.FaultRate > 0 {
+			inj := resilience.NewInjector(resilience.InjectorConfig{
+				Seed: seed, ErrorRate: cfg.FaultRate})
+			sess.Designer = llm.NewChaosDesigner(designer, inj)
+			sess.Res = &agents.Resilience{
+				Retry: resilience.RetryPolicy{MaxAttempts: 4,
+					BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: seed},
+				Fallback: llm.NewDomainModel(seed, 0),
+			}
+		}
+		out, err := sess.Run(ctx)
 		if err != nil {
 			return trialResult{}, err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 
 func designedNetlist(t *testing.T, g spec.Spec) *netlist.Netlist {
 	t.Helper()
-	out, err := agents.NewSession(llm.NewDomainModel(1, 0), g, agents.DefaultOptions()).Run()
+	out, err := agents.NewSession(llm.NewDomainModel(1, 0), g, agents.DefaultOptions()).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestYieldDeterministic(t *testing.T) {
 
 func TestCornersOnArtisanDesign(t *testing.T) {
 	g1, _ := spec.Group("G-1")
-	out, err := agents.NewSession(llm.NewDomainModel(1, 0), g1, agents.DefaultOptions()).Run()
+	out, err := agents.NewSession(llm.NewDomainModel(1, 0), g1, agents.DefaultOptions()).Run(context.Background())
 	if err != nil || !out.Success {
 		t.Fatalf("design failed: %v", err)
 	}

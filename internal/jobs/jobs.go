@@ -63,6 +63,8 @@ type Job struct {
 	result   any
 	err      error
 	cached   bool
+	attempts int
+	lastErr  string
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -82,11 +84,16 @@ func (j *Job) Status() Status {
 
 // Snapshot is a consistent copy of a job's observable state.
 type Snapshot struct {
-	ID       string
-	Status   Status
-	Cached   bool
-	Result   any
-	Err      string
+	ID     string
+	Status Status
+	Cached bool
+	Result any
+	Err    string
+	// Attempts counts how many times the job's fn was invoked (0 for a
+	// cache hit); LastErr keeps the most recent attempt's error even
+	// after a later attempt succeeds, so flaky runs stay diagnosable.
+	Attempts int
+	LastErr  string
 	Created  time.Time
 	Started  time.Time
 	Finished time.Time
@@ -98,6 +105,7 @@ func (j *Job) Snapshot() Snapshot {
 	defer j.mu.Unlock()
 	s := Snapshot{
 		ID: j.id, Status: j.status, Cached: j.cached, Result: j.result,
+		Attempts: j.attempts, LastErr: j.lastErr,
 		Created: j.created, Started: j.started, Finished: j.finished,
 	}
 	if j.err != nil {
@@ -150,6 +158,10 @@ type Config struct {
 	// Retain bounds how many terminal jobs are kept for GET /jobs
 	// introspection before the oldest are pruned. Default 1024.
 	Retain int
+	// MaxAttempts re-invokes a failing job fn up to this many times
+	// before the job is marked failed. Cancellation is never retried.
+	// Default 1 (fail on first error).
+	MaxAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +176,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retain < 1 {
 		c.Retain = 1024
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 1
 	}
 	return c
 }
@@ -365,7 +380,24 @@ func (m *Manager) run(j *Job) {
 	j.mu.Unlock()
 	defer cancel()
 
-	result, err := m.invoke(ctx, j)
+	var (
+		result any
+		err    error
+	)
+	for attempt := 1; attempt <= m.cfg.MaxAttempts; attempt++ {
+		j.mu.Lock()
+		j.attempts = attempt
+		j.mu.Unlock()
+		result, err = m.invoke(ctx, j)
+		if err != nil {
+			j.mu.Lock()
+			j.lastErr = err.Error()
+			j.mu.Unlock()
+		}
+		if err == nil || ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			break
+		}
+	}
 	switch {
 	case err == nil:
 		if j.key != "" {

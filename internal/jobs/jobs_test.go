@@ -406,3 +406,77 @@ func TestMapEmptyAndContext(t *testing.T) {
 		t.Fatalf("cancelled map: %v", err)
 	}
 }
+
+func TestMaxAttemptsRetriesUntilSuccess(t *testing.T) {
+	m := NewManager(Config{Workers: 1, MaxAttempts: 3})
+	defer m.Shutdown(context.Background())
+	calls := 0
+	j, err := m.Submit(func(context.Context) (any, error) {
+		calls++
+		if calls < 3 {
+			return nil, errors.New("flaky")
+		}
+		return "ok", nil
+	}, SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := j.Wait(context.Background())
+	if err != nil || v != "ok" {
+		t.Fatalf("wait: %v, %v", v, err)
+	}
+	s := j.Snapshot()
+	if s.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", s.Attempts)
+	}
+	if s.LastErr != "flaky" {
+		t.Errorf("lastErr = %q, want the last failed attempt kept", s.LastErr)
+	}
+	if s.Status != StatusDone {
+		t.Errorf("status = %s", s.Status)
+	}
+}
+
+func TestMaxAttemptsExhausted(t *testing.T) {
+	m := NewManager(Config{Workers: 1, MaxAttempts: 2})
+	defer m.Shutdown(context.Background())
+	calls := 0
+	j, _ := m.Submit(func(context.Context) (any, error) {
+		calls++
+		return nil, errors.New("always down")
+	}, SubmitOpts{})
+	if _, err := j.Wait(context.Background()); err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+	s := j.Snapshot()
+	if s.Status != StatusFailed || s.Attempts != 2 || s.LastErr != "always down" {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestMaxAttemptsNeverRetriesCancellation(t *testing.T) {
+	m := NewManager(Config{Workers: 1, MaxAttempts: 5})
+	defer m.Shutdown(context.Background())
+	calls := 0
+	started := make(chan struct{})
+	j, _ := m.Submit(func(ctx context.Context) (any, error) {
+		calls++
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, SubmitOpts{})
+	<-started
+	if err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = j.Wait(context.Background())
+	if calls != 1 {
+		t.Errorf("cancelled job retried: calls = %d", calls)
+	}
+	if j.Status() != StatusCancelled {
+		t.Errorf("status = %s", j.Status())
+	}
+}

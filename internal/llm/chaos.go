@@ -1,0 +1,112 @@
+package llm
+
+import (
+	"context"
+	"sort"
+
+	"artisan/internal/design"
+	"artisan/internal/resilience"
+	"artisan/internal/spec"
+)
+
+// ChaosDesigner wraps any DesignerModel with a deterministic fault
+// injector, turning a healthy model into one that fails, stalls, or
+// hallucinates at configured rates. It is the chaos-mode harness for the
+// agent loop: because the injector is seeded, a chaotic design session
+// replays byte-for-byte, so retries, breaker transitions, and the
+// degradation ladder can be asserted in tests and reproduced from a
+// production incident's seed.
+//
+// Fault classes map onto the designer interface as follows:
+//
+//   - FaultError: the call fails with a wrapped resilience.ErrInjected.
+//   - FaultTimeout: the call stalls until its context (or the injector's
+//     stall cap) expires — the "hung LLM backend" case.
+//   - FaultLatency: the call succeeds after an injected latency spike.
+//   - FaultCorrupt: the call succeeds but the output is corrupted while
+//     staying parseable — a wrong-but-confident architecture, a knob off
+//     by more than an order of magnitude, a modification naming a
+//     nonexistent architecture. These survive parsing and must be caught
+//     by downstream verification, which is exactly the paper's
+//     simulate-then-verify loop.
+type ChaosDesigner struct {
+	Inner DesignerModel
+	Inj   *resilience.Injector
+}
+
+// NewChaosDesigner wraps inner with the injector.
+func NewChaosDesigner(inner DesignerModel, inj *resilience.Injector) *ChaosDesigner {
+	return &ChaosDesigner{Inner: inner, Inj: inj}
+}
+
+// Name identifies the wrapped model; chaos is an operating condition,
+// not an identity, so transcripts keep the inner model's name.
+func (c *ChaosDesigner) Name() string { return c.Inner.Name() }
+
+// Generate passes free-text generation through untouched: the structured
+// decision path is where faults change session outcomes.
+func (c *ChaosDesigner) Generate(prompt string) (string, error) {
+	return c.Inner.Generate(prompt)
+}
+
+// ProposeArchitectures injects before delegating; a corrupt draw rewrites
+// the top recommendation into a confident pick of an architecture with no
+// executable design procedure.
+func (c *ChaosDesigner) ProposeArchitectures(ctx context.Context, s spec.Spec, k int) ([]ArchChoice, error) {
+	f, err := c.Inj.Apply(ctx, "ProposeArchitectures")
+	if err != nil {
+		return nil, err
+	}
+	choices, err := c.Inner.ProposeArchitectures(ctx, s, k)
+	if err != nil || f != resilience.FaultCorrupt || len(choices) == 0 {
+		return choices, err
+	}
+	out := append([]ArchChoice(nil), choices...)
+	out[0] = ArchChoice{Arch: "MPMC", Score: out[0].Score * 2,
+		Rationale: "(corrupted) multipath compensation is always the best choice"}
+	return out, nil
+}
+
+// ProposeKnobs injects before delegating; a corrupt draw scales one knob
+// by ~40× in a deterministically chosen direction — parseable, plausible
+// at a glance, and certain to miss the spec.
+func (c *ChaosDesigner) ProposeKnobs(ctx context.Context, arch string, s spec.Spec) (design.Knobs, error) {
+	f, err := c.Inj.Apply(ctx, "ProposeKnobs")
+	if err != nil {
+		return nil, err
+	}
+	k, err := c.Inner.ProposeKnobs(ctx, arch, s)
+	if err != nil || f != resilience.FaultCorrupt || len(k) == 0 {
+		return k, err
+	}
+	keys := make([]string, 0, len(k))
+	for key := range k {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	key := keys[int(c.Inj.Draw()*float64(len(keys)))%len(keys)]
+	factor := 40.0
+	if c.Inj.Draw() < 0.5 {
+		factor = 1 / factor
+	}
+	k[key] *= factor
+	return k, nil
+}
+
+// ProposeModification injects before delegating; a corrupt draw names an
+// architecture no design procedure exists for, which the session's
+// known-architecture gate must refuse.
+func (c *ChaosDesigner) ProposeModification(ctx context.Context, s spec.Spec, failure string) (Modification, error) {
+	f, err := c.Inj.Apply(ctx, "ProposeModification")
+	if err != nil {
+		return Modification{}, err
+	}
+	mod, err := c.Inner.ProposeModification(ctx, s, failure)
+	if err != nil || f != resilience.FaultCorrupt {
+		return mod, err
+	}
+	return Modification{NewArch: "XQ-9000",
+		Rationale: "(corrupted) switch to the XQ-9000 hyper-cascode"}, nil
+}
+
+var _ DesignerModel = (*ChaosDesigner)(nil)

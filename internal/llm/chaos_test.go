@@ -1,0 +1,98 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"artisan/internal/resilience"
+	"artisan/internal/spec"
+)
+
+func TestChaosDesignerInjectsErrors(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	m := NewChaosDesigner(NewDomainModel(1, 0),
+		resilience.NewInjector(resilience.InjectorConfig{Seed: 1, ErrorRate: 1}))
+	if _, err := m.ProposeArchitectures(context.Background(), g1, 1); !errors.Is(err, resilience.ErrInjected) {
+		t.Errorf("err = %v, want injected", err)
+	}
+	if m.Name() != "Artisan-LLM" {
+		t.Errorf("chaos should keep the inner identity, got %q", m.Name())
+	}
+}
+
+func TestChaosDesignerCorruptsParseably(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	m := NewChaosDesigner(NewDomainModel(1, 0),
+		resilience.NewInjector(resilience.InjectorConfig{Seed: 1, CorruptRate: 1}))
+	ctx := context.Background()
+
+	choices, err := m.ProposeArchitectures(ctx, g1, 1)
+	if err != nil || len(choices) == 0 {
+		t.Fatalf("corrupt output must stay parseable: %v", err)
+	}
+	if choices[0].Arch != "MPMC" {
+		t.Errorf("corrupt top choice = %q, want the unexecutable MPMC", choices[0].Arch)
+	}
+
+	clean, err := NewDomainModel(1, 0).ProposeKnobs(ctx, "NMC", g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := m.ProposeKnobs(ctx, "NMC", g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for k, v := range dirty {
+		if clean[k] != v {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Errorf("corruption changed %d knobs, want exactly 1 (clean=%v dirty=%v)", changed, clean, dirty)
+	}
+
+	mod, err := m.ProposeModification(ctx, g1, "the bandwidth is too slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.NewArch != "XQ-9000" {
+		t.Errorf("corrupt modification = %+v", mod)
+	}
+}
+
+// Two chaos wrappers with the same seed must behave identically.
+func TestChaosDesignerDeterministic(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	run := func() []string {
+		m := NewChaosDesigner(NewDomainModel(1, 0),
+			resilience.NewInjector(resilience.InjectorConfig{Seed: 3, ErrorRate: 0.4, CorruptRate: 0.2}))
+		var outcomes []string
+		for i := 0; i < 40; i++ {
+			if _, err := m.ProposeKnobs(context.Background(), "NMC", g1); err != nil {
+				outcomes = append(outcomes, "err")
+			} else {
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chaos outcome diverged at call %d", i)
+		}
+	}
+}
+
+func TestChaosDesignerCancelledContext(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	m := NewChaosDesigner(NewDomainModel(1, 0),
+		resilience.NewInjector(resilience.InjectorConfig{Seed: 1}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.ProposeKnobs(ctx, "NMC", g1); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want Canceled", err)
+	}
+}

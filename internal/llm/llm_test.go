@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -136,7 +137,7 @@ func TestDomainModelArchitectureChoices(t *testing.T) {
 	}
 	for group, wantTop := range cases {
 		g, _ := spec.Group(group)
-		choices, err := m.ProposeArchitectures(g, 3)
+		choices, err := m.ProposeArchitectures(context.Background(), g, 3)
 		if err != nil {
 			t.Fatalf("%s: %v", group, err)
 		}
@@ -147,7 +148,7 @@ func TestDomainModelArchitectureChoices(t *testing.T) {
 	}
 	// G-5 must exclude every small-load architecture.
 	g5, _ := spec.Group("G-5")
-	choices, _ := m.ProposeArchitectures(g5, 0)
+	choices, _ := m.ProposeArchitectures(context.Background(), g5, 0)
 	for _, c := range choices {
 		if c.Arch != "DFCFC" {
 			t.Errorf("G-5 offered unsuitable architecture %s", c.Arch)
@@ -158,14 +159,14 @@ func TestDomainModelArchitectureChoices(t *testing.T) {
 func TestDomainModelKnobsAndModification(t *testing.T) {
 	m := NewDomainModel(2, 0.12)
 	g1, _ := spec.Group("G-1")
-	k, err := m.ProposeKnobs("NMC", g1)
+	k, err := m.ProposeKnobs(context.Background(), "NMC", g1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(k) == 0 {
 		t.Error("empty knobs")
 	}
-	mod, err := m.ProposeModification(g1, "fails to drive the large 1nF capacitive load")
+	mod, err := m.ProposeModification(context.Background(), g1, "fails to drive the large 1nF capacitive load")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestDomainModelKnobsAndModification(t *testing.T) {
 	if !strings.Contains(mod.Rationale, "damping") {
 		t.Errorf("rationale %q lacks damping explanation", mod.Rationale)
 	}
-	mod2, err := m.ProposeModification(g1, "the DC gain is insufficient, too low")
+	mod2, err := m.ProposeModification(context.Background(), g1, "the DC gain is insufficient, too low")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestDomainModelGenerate(t *testing.T) {
 func TestGPT4Model(t *testing.T) {
 	m := NewGPT4Model()
 	g1, _ := spec.Group("G-1")
-	choices, err := m.ProposeArchitectures(g1, 1)
+	choices, err := m.ProposeArchitectures(context.Background(), g1, 1)
 	if err != nil || choices[0].Arch != "NMC" {
 		t.Errorf("GPT-4 should still recommend NMC: %v %v", choices, err)
 	}
@@ -210,10 +211,10 @@ func TestGPT4Model(t *testing.T) {
 	if !strings.Contains(ans, "p1 = gm3/CL") {
 		t.Errorf("GPT-4 should give the incorrect dominant-pole formula, got %q", ans)
 	}
-	if _, err := m.ProposeKnobs("NMC", g1); err == nil {
+	if _, err := m.ProposeKnobs(context.Background(), "NMC", g1); err == nil {
 		t.Error("GPT-4 should fail to derive parameters")
 	}
-	mod, err := m.ProposeModification(g1, "CL=1nF suffers")
+	mod, err := m.ProposeModification(context.Background(), g1, "CL=1nF suffers")
 	if err != nil || mod.NewArch != "MPMC" {
 		t.Errorf("GPT-4 should suggest MPMC: %+v %v", mod, err)
 	}
@@ -222,10 +223,10 @@ func TestGPT4Model(t *testing.T) {
 func TestLlama2Model(t *testing.T) {
 	m := NewLlama2Model()
 	g1, _ := spec.Group("G-1")
-	if _, err := m.ProposeArchitectures(g1, 1); err == nil {
+	if _, err := m.ProposeArchitectures(context.Background(), g1, 1); err == nil {
 		t.Error("Llama2 should propose no viable architecture")
 	}
-	if _, err := m.ProposeKnobs("NMC", g1); err == nil {
+	if _, err := m.ProposeKnobs(context.Background(), "NMC", g1); err == nil {
 		t.Error("Llama2 should fail to derive parameters")
 	}
 	ans, err := m.Generate("recommend an architecture for a three-stage opamp")
@@ -235,7 +236,7 @@ func TestLlama2Model(t *testing.T) {
 	if !strings.Contains(ans, "voltage follower") {
 		t.Errorf("Llama2 answer = %q", ans)
 	}
-	mod, _ := m.ProposeModification(g1, "large load")
+	mod, _ := m.ProposeModification(context.Background(), g1, "large load")
 	if mod.NewArch != "" {
 		t.Errorf("Llama2 modification should name no architecture: %+v", mod)
 	}
@@ -311,7 +312,7 @@ func TestTwoStageRouting(t *testing.T) {
 	m := NewDomainModel(5, 0)
 	buffer := spec.Spec{Name: "buffer", MinGainDB: 70, MinGBW: 2e6, MinPM: 55,
 		MaxPower: 150e-6, CL: 5e-12, RL: 1e6, VDD: 1.8}
-	choices, err := m.ProposeArchitectures(buffer, 2)
+	choices, err := m.ProposeArchitectures(context.Background(), buffer, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestTwoStageRouting(t *testing.T) {
 	}
 	for _, gname := range []string{"G-1", "G-2", "G-3", "G-4", "G-5"} {
 		g, _ := spec.Group(gname)
-		cs, err := m.ProposeArchitectures(g, 0)
+		cs, err := m.ProposeArchitectures(context.Background(), g, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

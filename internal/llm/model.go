@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -35,12 +36,15 @@ type Modification struct {
 // DesignerModel is the richer interface the design agents drive: besides
 // free-text generation it exposes the structured decisions of the design
 // flow. The DomainModel implements it competently; the off-the-shelf
-// baselines implement it with their documented failure modes.
+// baselines implement it with their documented failure modes. Every
+// structured decision takes a context so a cancelled session or an
+// expired per-stage deadline stops the model instead of leaking work —
+// a remote LLM backend makes these genuinely slow calls.
 type DesignerModel interface {
 	Model
-	ProposeArchitectures(s spec.Spec, k int) ([]ArchChoice, error)
-	ProposeKnobs(arch string, s spec.Spec) (design.Knobs, error)
-	ProposeModification(s spec.Spec, failure string) (Modification, error)
+	ProposeArchitectures(ctx context.Context, s spec.Spec, k int) ([]ArchChoice, error)
+	ProposeKnobs(ctx context.Context, arch string, s spec.Spec) (design.Knobs, error)
+	ProposeModification(ctx context.Context, s spec.Spec, failure string) (Modification, error)
 }
 
 // retrievalModel answers free-text prompts by tf-idf retrieval over a
@@ -139,7 +143,10 @@ func (m *DomainModel) LM() *Bigram { return m.lm }
 // ProposeArchitectures scores every known architecture against the spec —
 // the expansion step of the ToT decision tree. Scores carry a small
 // sampled perturbation so repeated sessions explore near-ties.
-func (m *DomainModel) ProposeArchitectures(s spec.Spec, k int) ([]ArchChoice, error) {
+func (m *DomainModel) ProposeArchitectures(ctx context.Context, s spec.Spec, k int) ([]ArchChoice, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []ArchChoice
 	for _, p := range m.profiles {
 		base := p.Suitability(s)
@@ -171,7 +178,10 @@ func (m *DomainModel) ProposeArchitectures(s spec.Spec, k int) ([]ArchChoice, er
 // Besides the temperature jitter, the model may hold a persistent wrong
 // belief about one knob (see SlipRate); that belief is decided on first
 // use of the architecture and repeated on every redesign.
-func (m *DomainModel) ProposeKnobs(arch string, s spec.Spec) (design.Knobs, error) {
+func (m *DomainModel) ProposeKnobs(ctx context.Context, arch string, s spec.Spec) (design.Knobs, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	k, err := design.SampleKnobs(arch, s, m.rng, m.Temperature)
 	if err != nil {
 		return nil, err
@@ -202,7 +212,10 @@ func (m *DomainModel) ProposeKnobs(arch string, s spec.Spec) (design.Knobs, erro
 
 // ProposeModification retrieves the expert modification strategy matching
 // a failure description (the second ToT decision point).
-func (m *DomainModel) ProposeModification(s spec.Spec, failure string) (Modification, error) {
+func (m *DomainModel) ProposeModification(ctx context.Context, s spec.Spec, failure string) (Modification, error) {
+	if err := ctx.Err(); err != nil {
+		return Modification{}, err
+	}
 	hits := m.ix.SearchTopic("modify "+failure, "modification", 1)
 	if len(hits) == 0 {
 		return Modification{}, fmt.Errorf("llm: no modification strategy for %q", truncate(failure, 60))
@@ -234,7 +247,10 @@ func NewGPT4Model() *GPT4Model {
 }
 
 // ProposeArchitectures: GPT-4 does recommend NMC appropriately.
-func (m *GPT4Model) ProposeArchitectures(s spec.Spec, k int) ([]ArchChoice, error) {
+func (m *GPT4Model) ProposeArchitectures(ctx context.Context, s spec.Spec, k int) ([]ArchChoice, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	body, _ := m.Generate("recommend an architecture")
 	return []ArchChoice{{Arch: "NMC", Score: 1, Rationale: body}}, nil
 }
@@ -242,14 +258,14 @@ func (m *GPT4Model) ProposeArchitectures(s spec.Spec, k int) ([]ArchChoice, erro
 // ProposeKnobs: without tailored training GPT-4 cannot carry the
 // methodological parameter derivation (paper §4.2: "consistently fail to
 // design opamps in any instance").
-func (m *GPT4Model) ProposeKnobs(arch string, s spec.Spec) (design.Knobs, error) {
+func (m *GPT4Model) ProposeKnobs(ctx context.Context, arch string, s spec.Spec) (design.Knobs, error) {
 	return nil, fmt.Errorf("llm: GPT-4 cannot execute the complete design process: " +
 		"its dominant-pole formula p1 = gm3/CL is incorrect, so the derived parameters do not close")
 }
 
 // ProposeModification: GPT-4 suggests MPMC, which cannot drive a 1 nF
 // load — no design procedure exists for it.
-func (m *GPT4Model) ProposeModification(s spec.Spec, failure string) (Modification, error) {
+func (m *GPT4Model) ProposeModification(ctx context.Context, s spec.Spec, failure string) (Modification, error) {
 	body, _ := m.Generate("modify for large load")
 	return Modification{NewArch: "MPMC", Rationale: body}, nil
 }
@@ -265,19 +281,19 @@ func NewLlama2Model() *Llama2Model {
 
 // ProposeArchitectures: the "current feedback opamp + voltage followers"
 // suggestion names no real three-stage compensation architecture.
-func (m *Llama2Model) ProposeArchitectures(s spec.Spec, k int) ([]ArchChoice, error) {
+func (m *Llama2Model) ProposeArchitectures(ctx context.Context, s spec.Spec, k int) ([]ArchChoice, error) {
 	body, _ := m.Generate("recommend an architecture")
 	return nil, fmt.Errorf("llm: Llama2 proposes no viable architecture: %s", truncate(body, 80))
 }
 
 // ProposeKnobs always fails: there is no architecture to size.
-func (m *Llama2Model) ProposeKnobs(arch string, s spec.Spec) (design.Knobs, error) {
+func (m *Llama2Model) ProposeKnobs(ctx context.Context, arch string, s spec.Spec) (design.Knobs, error) {
 	return nil, fmt.Errorf("llm: Llama2 cannot derive design parameters")
 }
 
 // ProposeModification returns the unprofessional Fig. 7 list, which names
 // no actionable architecture.
-func (m *Llama2Model) ProposeModification(s spec.Spec, failure string) (Modification, error) {
+func (m *Llama2Model) ProposeModification(ctx context.Context, s spec.Spec, failure string) (Modification, error) {
 	body, _ := m.Generate("modify for load")
 	return Modification{NewArch: "", Rationale: body}, nil
 }

@@ -15,6 +15,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -53,7 +54,7 @@ func (e *evaluator) eval(tp *topology.Topology) float64 {
 	if e.sim.Invocations >= e.budget {
 		return -100 // budget exhausted: the run is over
 	}
-	rep, err := e.sim.MeasureTopology(tp, e.sp)
+	rep, err := e.sim.MeasureTopology(context.Background(), tp, e.sp)
 	score := -100.0
 	if err == nil {
 		score = agents.Score(e.sp, rep)

@@ -1,0 +1,188 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the circuit breaker's three states.
+type BreakerState int
+
+// The classical state machine: closed (traffic flows, failures counted)
+// → open (traffic rejected) → half-open (one probe admitted) → closed on
+// probe success or back to open on probe failure.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and the /stats endpoint.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// BreakerConfig tunes a Breaker. Zero values take defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	// Default 5.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe. Default 5s.
+	Cooldown time.Duration
+	// Probes is the consecutive half-open successes required to close.
+	// Default 1.
+	Probes int
+	// Counters, when non-nil, receives open/short-circuit events.
+	Counters *Counters
+	// Now is the clock; tests substitute a fake for deterministic
+	// open → half-open transitions. Default time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold < 1 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Probes < 1 {
+		c.Probes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a circuit breaker guarding one backend path (the MNA
+// simulator, the BO sizer). A nil *Breaker is valid and passes every
+// call through — resilience stays strictly opt-in.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int  // consecutive failures while closed
+	okProbes int  // consecutive successes while half-open
+	probing  bool // a half-open probe is in flight
+	openedAt time.Time
+}
+
+// NewBreaker builds a breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State reports the current state, applying the lazy open → half-open
+// transition when the cooldown has elapsed.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// maybeHalfOpen must run with b.mu held.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.okProbes = 0
+		b.probing = false
+	}
+}
+
+// Do runs fn through the breaker: rejected with a wrapped ErrBreakerOpen
+// while open (or while another half-open probe is in flight), otherwise
+// executed and its outcome recorded. Parent-context cancellation is
+// neutral — it says nothing about the backend's health.
+func (b *Breaker) Do(ctx context.Context, op string, fn func(context.Context) error) error {
+	if b == nil {
+		return fn(ctx)
+	}
+	if err := b.admit(op); err != nil {
+		return err
+	}
+	err := fn(ctx)
+	b.record(err)
+	return err
+}
+
+func (b *Breaker) admit(op string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case BreakerOpen:
+		if b.cfg.Counters != nil {
+			b.cfg.Counters.BreakerShorts.Add(1)
+		}
+		return fmt.Errorf("resilience: %s: %w", op, ErrBreakerOpen)
+	case BreakerHalfOpen:
+		if b.probing {
+			if b.cfg.Counters != nil {
+				b.cfg.Counters.BreakerShorts.Add(1)
+			}
+			return fmt.Errorf("resilience: %s (probe in flight): %w", op, ErrBreakerOpen)
+		}
+		b.probing = true
+	}
+	return nil
+}
+
+func (b *Breaker) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err != nil && errors.Is(err, context.Canceled) {
+		// The caller went away; the backend was never heard from.
+		b.probing = false
+		return
+	}
+	switch {
+	case err == nil:
+		if b.state == BreakerHalfOpen {
+			b.probing = false
+			b.okProbes++
+			if b.okProbes >= b.cfg.Probes {
+				b.state = BreakerClosed
+				b.fails = 0
+			}
+			return
+		}
+		b.fails = 0
+	case b.state == BreakerHalfOpen:
+		b.open() // the probe failed: straight back to open
+	default:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.open()
+		}
+	}
+}
+
+// open must run with b.mu held.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.fails = 0
+	b.okProbes = 0
+	b.probing = false
+	if b.cfg.Counters != nil {
+		b.cfg.Counters.BreakerOpens.Add(1)
+	}
+}

@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's cooldown deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func failing(err error) func(context.Context) error {
+	return func(context.Context) error { return err }
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var c Counters
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second, Counters: &c, Now: clk.now})
+	boom := errors.New("sim crashed")
+	for i := 0; i < 3; i++ {
+		if b.State() != BreakerClosed {
+			t.Fatalf("opened early at failure %d", i)
+		}
+		_ = b.Do(context.Background(), "sim", failing(boom))
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after threshold failures, want open", b.State())
+	}
+	// Open breaker short-circuits without invoking the backend.
+	called := false
+	err := b.Do(context.Background(), "sim", func(context.Context) error {
+		called = true
+		return nil
+	})
+	if called {
+		t.Error("open breaker let the call through")
+	}
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("err = %v, want ErrBreakerOpen", err)
+	}
+	s := c.Snapshot()
+	if s.BreakerOpens != 1 || s.BreakerShorts != 1 {
+		t.Errorf("counters = %+v", s)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, Now: clk.now})
+	_ = b.Do(context.Background(), "sim", failing(errors.New("x")))
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v after cooldown, want half-open", b.State())
+	}
+	if err := b.Do(context.Background(), "sim", failing(nil)); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Errorf("state = %v after successful probe, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, Now: clk.now})
+	_ = b.Do(context.Background(), "sim", failing(errors.New("x")))
+	clk.advance(time.Second)
+	_ = b.Do(context.Background(), "sim", failing(errors.New("still down")))
+	if b.State() != BreakerOpen {
+		t.Errorf("state = %v after failed probe, want open again", b.State())
+	}
+	// And the fresh cooldown starts from the reopen.
+	clk.advance(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Errorf("state = %v after second cooldown, want half-open", b.State())
+	}
+}
+
+func TestBreakerSingleProbeInFlight(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, Now: clk.now})
+	_ = b.Do(context.Background(), "sim", failing(errors.New("x")))
+	clk.advance(time.Second)
+
+	release := make(chan struct{})
+	probeStarted := make(chan struct{})
+	go func() {
+		_ = b.Do(context.Background(), "sim", func(context.Context) error {
+			close(probeStarted)
+			<-release
+			return nil
+		})
+	}()
+	<-probeStarted
+	// A second call while the probe is in flight must be rejected.
+	if err := b.Do(context.Background(), "sim", failing(nil)); !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("concurrent probe admitted: %v", err)
+	}
+	close(release)
+}
+
+func TestBreakerNeutralOnCancellation(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1})
+	_ = b.Do(context.Background(), "sim", failing(context.Canceled))
+	if b.State() != BreakerClosed {
+		t.Error("caller cancellation counted as a backend failure")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2})
+	boom := errors.New("x")
+	_ = b.Do(context.Background(), "sim", failing(boom))
+	_ = b.Do(context.Background(), "sim", failing(nil))
+	_ = b.Do(context.Background(), "sim", failing(boom))
+	if b.State() != BreakerClosed {
+		t.Error("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestNilBreakerPassesThrough(t *testing.T) {
+	var b *Breaker
+	called := false
+	if err := b.Do(context.Background(), "sim", func(context.Context) error {
+		called = true
+		return nil
+	}); err != nil || !called {
+		t.Errorf("nil breaker: called=%v err=%v", called, err)
+	}
+	if b.State() != BreakerClosed {
+		t.Error("nil breaker should report closed")
+	}
+}

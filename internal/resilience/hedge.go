@@ -1,0 +1,89 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+type result[T any] struct {
+	v   T
+	err error
+}
+
+// Hedge runs primary and, if it has not finished within delay (or fails
+// before it), launches secondary and returns the first success. When
+// both fail, the primary's error wins. The loser's context is cancelled
+// so abandoned work does not leak a goroutine's effort.
+func Hedge[T any](ctx context.Context, delay time.Duration, c *Counters,
+	primary, secondary func(context.Context) (T, error)) (T, error) {
+	var zero T
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ch := make(chan result[T], 2)
+	launch := func(fn func(context.Context) (T, error)) {
+		go func() {
+			v, err := fn(cctx)
+			ch <- result[T]{v, err}
+		}()
+	}
+	launch(primary)
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	hedge := func() {
+		if c != nil {
+			c.Hedges.Add(1)
+		}
+		launch(secondary)
+	}
+
+	outstanding := 1
+	launched := false
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				return r.v, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !launched {
+				launched = true
+				outstanding++
+				hedge()
+				continue
+			}
+			if outstanding == 0 {
+				return zero, firstErr
+			}
+		case <-timer.C:
+			if !launched {
+				launched = true
+				outstanding++
+				hedge()
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// Fallback is the degradation step of the resilience ladder: it runs
+// primary and, when that fails for any reason other than the caller
+// going away, counts a degradation and runs fallback instead. A nil
+// fallback reduces to the primary call.
+func Fallback[T any](ctx context.Context, c *Counters,
+	primary, fallback func(context.Context) (T, error)) (T, error) {
+	v, err := primary(ctx)
+	if err == nil || fallback == nil || ctx.Err() != nil {
+		return v, err
+	}
+	if c != nil {
+		c.Fallbacks.Add(1)
+	}
+	return fallback(ctx)
+}

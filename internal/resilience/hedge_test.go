@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestHedgeFastPrimaryWins(t *testing.T) {
+	var c Counters
+	v, err := Hedge(context.Background(), 50*time.Millisecond, &c,
+		func(context.Context) (string, error) { return "primary", nil },
+		func(context.Context) (string, error) { return "secondary", nil })
+	if err != nil || v != "primary" {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+	if c.Snapshot().Hedges != 0 {
+		t.Error("fast primary should not launch the hedge")
+	}
+}
+
+func TestHedgeSlowPrimaryLosesToSecondary(t *testing.T) {
+	var c Counters
+	v, err := Hedge(context.Background(), time.Millisecond, &c,
+		func(ctx context.Context) (string, error) {
+			select {
+			case <-time.After(time.Minute):
+			case <-ctx.Done():
+			}
+			return "", errors.New("too slow")
+		},
+		func(context.Context) (string, error) { return "secondary", nil })
+	if err != nil || v != "secondary" {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+	if c.Snapshot().Hedges != 1 {
+		t.Errorf("counters = %+v", c.Snapshot())
+	}
+}
+
+func TestHedgeFailedPrimaryLaunchesSecondaryEarly(t *testing.T) {
+	start := time.Now()
+	v, err := Hedge(context.Background(), time.Minute, nil,
+		func(context.Context) (string, error) { return "", errors.New("down") },
+		func(context.Context) (string, error) { return "secondary", nil })
+	if err != nil || v != "secondary" {
+		t.Fatalf("v=%q err=%v", v, err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Error("hedge waited for the full delay after primary failure")
+	}
+}
+
+func TestHedgeBothFailReturnsPrimaryError(t *testing.T) {
+	primaryErr := errors.New("primary down")
+	_, err := Hedge(context.Background(), time.Millisecond, nil,
+		func(context.Context) (string, error) { return "", primaryErr },
+		func(context.Context) (string, error) { return "", errors.New("secondary down") })
+	if !errors.Is(err, primaryErr) {
+		t.Errorf("err = %v, want the primary's", err)
+	}
+}
+
+func TestFallbackDegrades(t *testing.T) {
+	var c Counters
+	v, err := Fallback(context.Background(), &c,
+		func(context.Context) (int, error) { return 0, errors.New("down") },
+		func(context.Context) (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	if c.Snapshot().Fallbacks != 1 {
+		t.Errorf("counters = %+v", c.Snapshot())
+	}
+}
+
+func TestFallbackSkippedOnSuccessAndCancellation(t *testing.T) {
+	var c Counters
+	if v, err := Fallback(context.Background(), &c,
+		func(context.Context) (int, error) { return 1, nil },
+		func(context.Context) (int, error) { return 2, nil }); v != 1 || err != nil {
+		t.Errorf("healthy primary bypassed: v=%d err=%v", v, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fallback(ctx, &c,
+		func(ctx context.Context) (int, error) { return 0, ctx.Err() },
+		func(context.Context) (int, error) { return 2, nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled caller degraded anyway: %v", err)
+	}
+	if c.Snapshot().Fallbacks != 0 {
+		t.Errorf("counters = %+v", c.Snapshot())
+	}
+}

@@ -1,0 +1,191 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Fault is one injected fault class.
+type Fault int
+
+// The four chaos classes the injector produces, mirroring how the
+// simulator/sizer/LLM tool calls misbehave in production: hard errors,
+// latency spikes, hangs that only a deadline resolves, and outputs that
+// parse fine but are wrong.
+const (
+	FaultNone Fault = iota
+	FaultError
+	FaultLatency
+	FaultTimeout
+	FaultCorrupt
+	numFaults
+)
+
+// String names the fault class.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultError:
+		return "error"
+	case FaultLatency:
+		return "latency"
+	case FaultTimeout:
+		return "timeout"
+	case FaultCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// InjectorConfig sets the per-call fault rates. Rates are stacked, so
+// ErrorRate+LatencyRate+TimeoutRate+CorruptRate should stay below 1;
+// the remainder is the healthy-call probability.
+type InjectorConfig struct {
+	// Seed makes the fault sequence deterministic: the same seed and the
+	// same call sequence reproduce the same chaos run exactly.
+	Seed int64
+	// ErrorRate injects a hard tool error (wrapping ErrInjected).
+	ErrorRate float64
+	// LatencyRate injects a latency spike of Latency before the call.
+	LatencyRate float64
+	// TimeoutRate injects a stall: the call blocks until its context
+	// expires (or the Stall cap, whichever is first).
+	TimeoutRate float64
+	// CorruptRate asks the wrapper to return corrupted-but-parseable
+	// output; the injector itself only reports the class.
+	CorruptRate float64
+	// Latency is the injected spike duration. Default 2ms.
+	Latency time.Duration
+	// Stall caps an injected timeout when the context has no deadline of
+	// its own. Default 50ms.
+	Stall time.Duration
+	// Counters, when non-nil, receives an Injected event per fault.
+	Counters *Counters
+}
+
+func (c InjectorConfig) withDefaults() InjectorConfig {
+	if c.Latency <= 0 {
+		c.Latency = 2 * time.Millisecond
+	}
+	if c.Stall <= 0 {
+		c.Stall = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Injector draws faults from a seeded generator. It wraps any tool or
+// model call site: callers ask Next/Apply before doing real work. A nil
+// *Injector is valid and never injects anything, so chaos hooks can stay
+// compiled into the production path.
+type Injector struct {
+	cfg InjectorConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	calls  int64
+	counts [numFaults]int64
+}
+
+// NewInjector builds an injector.
+func NewInjector(cfg InjectorConfig) *Injector {
+	cfg = cfg.withDefaults()
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Next draws the fault class for the next call to op. The draw sequence
+// is deterministic in call order for a fixed seed.
+func (in *Injector) Next(op string) Fault {
+	if in == nil {
+		return FaultNone
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls++
+	u := in.rng.Float64()
+	f := FaultNone
+	switch c := in.cfg; {
+	case u < c.ErrorRate:
+		f = FaultError
+	case u < c.ErrorRate+c.TimeoutRate:
+		f = FaultTimeout
+	case u < c.ErrorRate+c.TimeoutRate+c.CorruptRate:
+		f = FaultCorrupt
+	case u < c.ErrorRate+c.TimeoutRate+c.CorruptRate+c.LatencyRate:
+		f = FaultLatency
+	}
+	in.counts[f]++
+	if f != FaultNone && in.cfg.Counters != nil {
+		in.cfg.Counters.Injected.Add(1)
+	}
+	return f
+}
+
+// Draw returns an auxiliary deterministic uniform draw, used by wrappers
+// to shape corruption (which knob, which factor) reproducibly. Nil-safe.
+func (in *Injector) Draw() float64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64()
+}
+
+// Apply draws and executes the side-effecting fault classes: FaultError
+// returns a wrapped ErrInjected, FaultTimeout blocks until ctx (or the
+// Stall cap) expires and returns the deadline error, FaultLatency sleeps
+// the configured spike. FaultCorrupt and FaultNone return with a nil
+// error — corruption is the caller's job, on its own output.
+func (in *Injector) Apply(ctx context.Context, op string) (Fault, error) {
+	f := in.Next(op)
+	switch f {
+	case FaultError:
+		return f, fmt.Errorf("resilience: %s: injected tool error: %w", op, ErrInjected)
+	case FaultTimeout:
+		t := time.NewTimer(in.cfg.Stall)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return f, fmt.Errorf("resilience: %s: injected stall: %w", op, ctx.Err())
+		case <-t.C:
+			return f, fmt.Errorf("resilience: %s: injected stall: %w", op, context.DeadlineExceeded)
+		}
+	case FaultLatency:
+		t := time.NewTimer(in.cfg.Latency)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return f, fmt.Errorf("resilience: %s: %w", op, ctx.Err())
+		case <-t.C:
+		}
+	}
+	return f, nil
+}
+
+// Calls reports how many draws have been made.
+func (in *Injector) Calls() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls
+}
+
+// Counts tallies draws by fault class name (including "none").
+func (in *Injector) Counts() map[string]int64 {
+	out := map[string]int64{}
+	if in == nil {
+		return out
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for f := FaultNone; f < numFaults; f++ {
+		out[f.String()] = in.counts[f]
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The same seed must reproduce the same fault sequence exactly — this is
+// the property every chaos test leans on.
+func TestInjectorDeterministicSequence(t *testing.T) {
+	draw := func() []Fault {
+		in := NewInjector(InjectorConfig{
+			Seed: 7, ErrorRate: 0.3, TimeoutRate: 0.1, CorruptRate: 0.1, LatencyRate: 0.1,
+		})
+		var seq []Fault
+		for i := 0; i < 200; i++ {
+			seq = append(seq, in.Next("op"))
+		}
+		return seq
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInjectorRatesRoughlyHonored(t *testing.T) {
+	in := NewInjector(InjectorConfig{Seed: 1, ErrorRate: 0.3})
+	for i := 0; i < 2000; i++ {
+		in.Next("op")
+	}
+	counts := in.Counts()
+	errs := counts[FaultError.String()]
+	if errs < 450 || errs > 750 { // 0.3 ± generous tolerance over 2000 draws
+		t.Errorf("error draws = %d of 2000 at rate 0.3", errs)
+	}
+	if in.Calls() != 2000 {
+		t.Errorf("calls = %d", in.Calls())
+	}
+}
+
+func TestInjectorApplyErrorWrapsSentinel(t *testing.T) {
+	var c Counters
+	in := NewInjector(InjectorConfig{Seed: 1, ErrorRate: 1, Counters: &c})
+	f, err := in.Apply(context.Background(), "simulator")
+	if f != FaultError || !errors.Is(err, ErrInjected) {
+		t.Errorf("fault=%v err=%v", f, err)
+	}
+	if c.Snapshot().Injected != 1 {
+		t.Errorf("counters = %+v", c.Snapshot())
+	}
+}
+
+func TestInjectorStallHonorsContext(t *testing.T) {
+	in := NewInjector(InjectorConfig{Seed: 1, TimeoutRate: 1, Stall: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	f, err := in.Apply(ctx, "simulator")
+	if f != FaultTimeout {
+		t.Fatalf("fault = %v", f)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("stall ignored the context deadline")
+	}
+}
+
+func TestInjectorStallCapWithoutDeadline(t *testing.T) {
+	in := NewInjector(InjectorConfig{Seed: 1, TimeoutRate: 1, Stall: time.Millisecond})
+	_, err := in.Apply(context.Background(), "simulator")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("capped stall should report deadline, got %v", err)
+	}
+}
+
+func TestNilInjectorIsHealthy(t *testing.T) {
+	var in *Injector
+	if f := in.Next("op"); f != FaultNone {
+		t.Errorf("nil injector drew %v", f)
+	}
+	if f, err := in.Apply(context.Background(), "op"); f != FaultNone || err != nil {
+		t.Errorf("nil injector applied %v %v", f, err)
+	}
+	if in.Calls() != 0 || len(in.Counts()) != 0 {
+		t.Error("nil injector counted calls")
+	}
+}

@@ -1,0 +1,119 @@
+// Package resilience is the fault-tolerance layer of the Artisan
+// service. The multi-agent design loop leans on tool invocations — the
+// MNA simulator, the BO sizer, the calculator, the designer LLM itself —
+// that in a production deployment fail, hang, or return garbage. This
+// package provides the policy-driven primitives the rest of the system
+// composes into a degradation ladder:
+//
+//   - Injector: a deterministic, seedable fault injector that wraps any
+//     tool or model call site and introduces errors, latency spikes,
+//     stalls (timeouts), and corrupted-but-parseable outputs at
+//     configurable rates, so chaos behavior is reproducible in tests.
+//   - RetryPolicy: exponential backoff with deterministic jitter and
+//     per-attempt deadlines.
+//   - Breaker: a circuit breaker with the classical closed → open →
+//     half-open state machine, guarding the simulator and sizer paths.
+//   - Hedge and Fallback: helpers for racing a slow primary against a
+//     late-launched secondary, and for degrading to a cheaper path after
+//     the primary is exhausted.
+//   - Counters: lock-free event counters every primitive reports into,
+//     surfaced by the server's /healthz and /stats endpoints.
+//
+// All primitives accept nil *Counters and are safe for concurrent use.
+package resilience
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Sentinel errors surfaced by the primitives. They are always wrapped
+// with operation context, so match with errors.Is.
+var (
+	// ErrBreakerOpen rejects a call short-circuited by an open breaker.
+	ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+	// ErrInjected marks a fault introduced by an Injector.
+	ErrInjected = errors.New("resilience: injected fault")
+)
+
+// permanentError marks an error that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so RetryPolicy.Do stops immediately instead of
+// burning its remaining attempts. The original error stays reachable
+// through errors.Is/As.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Counters aggregates fault-tolerance events across a component — one
+// session, one server, one experiment sweep. All fields are safe for
+// concurrent update; Snapshot copies them for reporting.
+type Counters struct {
+	Attempts      atomic.Int64 // operations attempted, including retries
+	Failures      atomic.Int64 // attempts that returned an error
+	Retries       atomic.Int64 // re-attempts after a retryable failure
+	Fallbacks     atomic.Int64 // degradations to a fallback path
+	BreakerOpens  atomic.Int64 // closed/half-open → open transitions
+	BreakerShorts atomic.Int64 // calls rejected while the breaker was open
+	Injected      atomic.Int64 // faults introduced by an Injector
+	Hedges        atomic.Int64 // hedged secondary launches
+}
+
+// Snapshot is a point-in-time copy of Counters in wire-ready form.
+type Snapshot struct {
+	Attempts      int64 `json:"attempts"`
+	Failures      int64 `json:"failures"`
+	Retries       int64 `json:"retries"`
+	Fallbacks     int64 `json:"fallbacks"`
+	BreakerOpens  int64 `json:"breakerOpens"`
+	BreakerShorts int64 `json:"breakerShorts"`
+	Injected      int64 `json:"injected"`
+	Hedges        int64 `json:"hedges"`
+}
+
+// Snapshot copies the counters; a nil receiver yields a zero Snapshot.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Attempts:      c.Attempts.Load(),
+		Failures:      c.Failures.Load(),
+		Retries:       c.Retries.Load(),
+		Fallbacks:     c.Fallbacks.Load(),
+		BreakerOpens:  c.BreakerOpens.Load(),
+		BreakerShorts: c.BreakerShorts.Load(),
+		Injected:      c.Injected.Load(),
+		Hedges:        c.Hedges.Load(),
+	}
+}
+
+// Merge folds a snapshot into the counters — used to roll per-session
+// counters up into service-wide totals. Nil receivers are no-ops.
+func (c *Counters) Merge(s Snapshot) {
+	if c == nil {
+		return
+	}
+	c.Attempts.Add(s.Attempts)
+	c.Failures.Add(s.Failures)
+	c.Retries.Add(s.Retries)
+	c.Fallbacks.Add(s.Fallbacks)
+	c.BreakerOpens.Add(s.BreakerOpens)
+	c.BreakerShorts.Add(s.BreakerShorts)
+	c.Injected.Add(s.Injected)
+	c.Hedges.Add(s.Hedges)
+}

@@ -21,12 +21,14 @@ import (
 	"strings"
 	"time"
 
+	"artisan/internal/agents"
 	"artisan/internal/core"
 	"artisan/internal/experiment"
 	"artisan/internal/jobs"
 	"artisan/internal/llm"
 	"artisan/internal/measure"
 	"artisan/internal/netlist"
+	"artisan/internal/resilience"
 	"artisan/internal/spec"
 )
 
@@ -45,6 +47,22 @@ type Options struct {
 	CacheSize int
 	// JobTimeout, when positive, deadline-bounds each design run.
 	JobTimeout time.Duration
+	// RetryMax bounds retry attempts per designer/simulator call inside a
+	// design session; default 3.
+	RetryMax int
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit breaker guarding the simulator and sizer backends; default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before probing;
+	// default 5s.
+	BreakerCooldown time.Duration
+	// ToolTimeout, when positive, deadline-bounds each individual tool or
+	// designer attempt (the per-attempt deadline of the retry policy).
+	ToolTimeout time.Duration
+	// FaultRate, when positive, runs the service in chaos mode: every
+	// designer and simulator call fails with this probability, injected
+	// by a seeded injector derived from each request's seed.
+	FaultRate float64
 }
 
 // Server holds the service configuration.
@@ -53,6 +71,13 @@ type Server struct {
 	// MaxTreeWidth bounds client-requested ToT width (resource guard).
 	MaxTreeWidth int
 	jobs         *jobs.Manager
+	opts         Options
+	// counters aggregates resilience events service-wide; each design
+	// session's per-run counters are merged in when the session ends.
+	counters *resilience.Counters
+	// breaker guards the simulator/sizer backends across all sessions, so
+	// a failure streak in one session short-circuits the next.
+	breaker *resilience.Breaker
 }
 
 // New builds the service with default options.
@@ -63,6 +88,16 @@ func NewWithOptions(o Options) *Server {
 	if o.MaxTreeWidth < 1 {
 		o.MaxTreeWidth = 4
 	}
+	if o.RetryMax < 1 {
+		o.RetryMax = 3
+	}
+	if o.BreakerThreshold < 1 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	counters := &resilience.Counters{}
 	s := &Server{
 		mux:          http.NewServeMux(),
 		MaxTreeWidth: o.MaxTreeWidth,
@@ -70,8 +105,15 @@ func NewWithOptions(o Options) *Server {
 			Workers: o.Workers, Queue: o.Queue,
 			CacheSize: o.CacheSize, JobTimeout: o.JobTimeout,
 		}),
+		opts:     o,
+		counters: counters,
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			Threshold: o.BreakerThreshold, Cooldown: o.BreakerCooldown,
+			Counters: counters,
+		}),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /groups", s.handleGroups)
 	s.mux.HandleFunc("GET /architectures", s.handleArchitectures)
 	s.mux.HandleFunc("POST /design", s.handleDesign)
@@ -127,9 +169,29 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"jobs":   s.jobs.Counts(),
-		"cache":  s.jobs.CacheStats(),
+		"status":     "ok",
+		"jobs":       s.jobs.Counts(),
+		"cache":      s.jobs.CacheStats(),
+		"breaker":    s.breaker.State().String(),
+		"resilience": s.counters.Snapshot(),
+	})
+}
+
+// handleStats surfaces the service-wide resilience counters, breaker
+// state, and the operating configuration — the observability face of the
+// fault-tolerance layer.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"resilience": s.counters.Snapshot(),
+		"breaker":    s.breaker.State().String(),
+		"jobs":       s.jobs.Counts(),
+		"cache":      s.jobs.CacheStats(),
+		"config": map[string]any{
+			"retryMax":         s.opts.RetryMax,
+			"breakerThreshold": s.opts.BreakerThreshold,
+			"toolTimeout":      s.opts.ToolTimeout.String(),
+			"faultRate":        s.opts.FaultRate,
+		},
 	})
 }
 
@@ -197,6 +259,12 @@ type DesignResponse struct {
 	// Cached reports that the result came from the design cache rather
 	// than a fresh agent session.
 	Cached bool `json:"cached,omitempty"`
+	// Degraded reports that the session fell back to the deterministic
+	// retrieval model after repeated primary-designer failures.
+	Degraded bool `json:"degraded,omitempty"`
+	// Resilience carries the session's fault-tolerance counters when any
+	// resilience event fired.
+	Resilience *resilience.Snapshot `json:"resilience,omitempty"`
 }
 
 type metricsJSON struct {
@@ -253,8 +321,9 @@ func designKey(sp spec.Spec, req DesignRequest) string {
 		req.Seed, req.Temperature, req.TreeWidth, req.Tune, req.Transcript)
 }
 
-// designFunc builds the pool job that runs the full workflow.
-func designFunc(sp spec.Spec, req DesignRequest) jobs.Func {
+// designFunc builds the pool job that runs the full workflow with the
+// service's resilience ladder attached.
+func (s *Server) designFunc(sp spec.Spec, req DesignRequest) jobs.Func {
 	return func(ctx context.Context) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -262,18 +331,42 @@ func designFunc(sp spec.Spec, req DesignRequest) jobs.Func {
 		a := core.NewWithModel(llm.NewDomainModel(req.Seed, req.Temperature))
 		a.Opts.TreeWidth = req.TreeWidth
 		a.Opts.Tune = req.Tune
-		out, err := a.Design(sp)
+		sessionCounters := &resilience.Counters{}
+		a.Res = &agents.Resilience{
+			Retry: resilience.RetryPolicy{
+				MaxAttempts: s.opts.RetryMax,
+				BaseDelay:   10 * time.Millisecond,
+				MaxDelay:    200 * time.Millisecond,
+				PerAttempt:  s.opts.ToolTimeout,
+				Seed:        req.Seed,
+			},
+			Breaker:  s.breaker,
+			Fallback: llm.NewDomainModel(req.Seed, 0),
+			Counters: sessionCounters,
+		}
+		if s.opts.FaultRate > 0 {
+			a.Faults = resilience.NewInjector(resilience.InjectorConfig{
+				Seed: req.Seed, ErrorRate: s.opts.FaultRate,
+				Counters: sessionCounters})
+		}
+		out, err := a.Design(ctx, sp)
 		if err != nil {
 			return nil, err
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err // cancelled mid-run: discard the result
 		}
+		s.counters.Merge(out.Resilience)
 		resp := &DesignResponse{
 			Success:    out.Success,
 			Arch:       out.Arch,
 			FailReason: out.FailReason,
+			Degraded:   out.Degraded,
 			Session:    map[string]int{"qaSteps": out.QACount, "simulations": out.SimCount},
+		}
+		if out.Resilience != (resilience.Snapshot{}) {
+			snap := out.Resilience
+			resp.Resilience = &snap
 		}
 		if out.Success {
 			resp.Metrics = toMetricsJSON(out.Report)
@@ -305,7 +398,7 @@ func (s *Server) submitDesign(w http.ResponseWriter, r *http.Request) (*jobs.Job
 		writeErr(w, http.StatusBadRequest, err)
 		return nil, false
 	}
-	j, err := s.jobs.Submit(designFunc(sp, req), jobs.SubmitOpts{Key: designKey(sp, req)})
+	j, err := s.jobs.Submit(s.designFunc(sp, req), jobs.SubmitOpts{Key: designKey(sp, req)})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -353,6 +446,8 @@ type jobJSON struct {
 	Status   string `json:"status"`
 	Cached   bool   `json:"cached,omitempty"`
 	Error    string `json:"error,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	LastErr  string `json:"lastError,omitempty"`
 	Created  string `json:"created"`
 	Started  string `json:"started,omitempty"`
 	Finished string `json:"finished,omitempty"`
@@ -362,6 +457,7 @@ type jobJSON struct {
 func toJobJSON(s jobs.Snapshot, includeResult bool) jobJSON {
 	out := jobJSON{
 		ID: s.ID, Status: string(s.Status), Cached: s.Cached, Error: s.Err,
+		Attempts: s.Attempts, LastErr: s.LastErr,
 		Created: s.Created.UTC().Format(time.RFC3339Nano),
 	}
 	if !s.Started.IsZero() {

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := New()
+	rec, body := doJSON(t, srv, "GET", "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", rec.Code, body)
+	}
+	var got struct {
+		Resilience map[string]int64 `json:"resilience"`
+		Breaker    string           `json:"breaker"`
+		Config     struct {
+			RetryMax         int     `json:"retryMax"`
+			BreakerThreshold int     `json:"breakerThreshold"`
+			FaultRate        float64 `json:"faultRate"`
+		} `json:"config"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Breaker != "closed" {
+		t.Errorf("breaker = %q, want closed on a fresh server", got.Breaker)
+	}
+	if got.Config.RetryMax != 3 || got.Config.BreakerThreshold != 5 {
+		t.Errorf("defaults = %+v", got.Config)
+	}
+}
+
+func TestHealthzCarriesResilience(t *testing.T) {
+	rec, body := doJSON(t, New(), "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"breaker", "resilience"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("healthz missing %q: %s", key, body)
+		}
+	}
+}
+
+// A chaos-mode server still designs successfully: retries and the
+// fallback ladder absorb the injected faults, the response reports any
+// degradation, and the service-wide counters accumulate across requests.
+func TestChaosModeServerDesigns(t *testing.T) {
+	srv := NewWithOptions(Options{FaultRate: 0.3, RetryMax: 5, Workers: 2})
+	var body []byte
+	for seed := int64(1); seed <= 5; seed++ {
+		var rec *httptest.ResponseRecorder
+		rec, body = doJSON(t, srv, "POST", "/design",
+			DesignRequest{Group: "G-1", Seed: seed})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("design under chaos (seed %d): %d %s", seed, rec.Code, body)
+		}
+		var resp DesignResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Success {
+			t.Errorf("chaos-mode design failed (seed %d): %s", seed, resp.FailReason)
+		}
+	}
+
+	_, body = doJSON(t, srv, "GET", "/stats", nil)
+	var stats struct {
+		Resilience struct {
+			Injected int64 `json:"injected"`
+			Attempts int64 `json:"attempts"`
+		} `json:"resilience"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resilience.Injected == 0 || stats.Resilience.Attempts == 0 {
+		t.Errorf("service-wide counters not rolled up: %s", body)
+	}
+}
+
+// Job snapshots surface attempt counts over the wire.
+func TestJobJSONCarriesAttempts(t *testing.T) {
+	srv := New()
+	rec, body := doJSON(t, srv, "POST", "/jobs", DesignRequest{Group: "G-1", Seed: 4})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", rec.Code, body)
+	}
+	var sub jobJSON
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	j, ok := srv.jobs.Get(sub.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if _, err := j.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	_, body = doJSON(t, srv, "GET", "/jobs/"+sub.ID, nil)
+	var got jobJSON
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 for a healthy run", got.Attempts)
+	}
+}

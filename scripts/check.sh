@@ -1,9 +1,24 @@
 #!/bin/sh
-# CI gate: vet, build, full test suite, and a race pass over the
-# concurrency-heavy packages. Mirrors `make check`.
+# CI gate: vet, build, full test suite, a race pass over the
+# concurrency-heavy packages, a chaos smoke over the resilience layer,
+# and an errcheck-style grep gate. Mirrors `make check`.
 set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/jobs ./internal/server ./internal/experiment
+go test -race ./internal/jobs ./internal/server ./internal/experiment \
+    ./internal/resilience ./internal/agents
+
+# Chaos smoke: the seeded fault injector, retry, and breaker tests must
+# be deterministic — -count=2 re-runs them to catch order dependence.
+go test ./internal/resilience/... -race -count=2
+
+# Errcheck-style gate: no silently dropped trailing returns (almost
+# always an ignored error) in the agent loop or the server.
+if grep -rnE ', _ =|, _ :=' --include='*.go' internal/agents internal/server \
+    | grep -v _test.go; then
+    echo 'check: ignored trailing return value (fix or handle the error)' >&2
+    exit 1
+fi
+echo check ok
