@@ -16,7 +16,7 @@ test:
 # The concurrency-heavy packages must stay race-clean.
 race:
 	$(GO) test -race ./internal/jobs ./internal/server ./internal/experiment \
-		./internal/resilience ./internal/agents
+		./internal/resilience ./internal/agents ./internal/telemetry
 
 # Chaos smoke: deterministic fault-injection suite, run twice.
 chaos:
@@ -24,5 +24,7 @@ chaos:
 
 check: vet build test race chaos
 
+# bench runs the seed benchmarks once and records (name, ns/op,
+# allocs/op) as JSON for cross-PR comparison.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	scripts/bench.sh BENCH_pr3.json

@@ -7,6 +7,8 @@
 //
 //	GET    /healthz        liveness + pool/cache/resilience counters
 //	GET    /stats          resilience counters, breaker state, chaos config
+//	GET    /metrics        Prometheus text exposition of the same state
+//	GET    /traces         recent design-run span trees as JSON
 //	GET    /groups         the Table 2 spec groups
 //	GET    /architectures  the knowledge base's architecture cards
 //	POST   /design         {"group":"G-1"} or {"prompt":"gain >85dB, …"} (waits)
@@ -15,6 +17,11 @@
 //	GET    /jobs           list jobs with status counts
 //	GET    /jobs/{id}      poll one job (result embedded when done)
 //	DELETE /jobs/{id}      cancel a queued or running job
+//
+// Every response carries an X-Request-ID (client-provided or generated);
+// -access-log prints one structured line per request keyed on it, and
+// -debug-addr serves net/http/pprof plus a /metrics mirror on a separate
+// listener that should stay private.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // queued and running design jobs before exiting.
@@ -25,12 +32,15 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"artisan/internal/server"
+	"artisan/internal/telemetry"
 )
 
 func main() {
@@ -45,16 +55,23 @@ func main() {
 		breakThr  = flag.Int("breaker-threshold", 5, "consecutive failures that open the circuit breaker")
 		toolTime  = flag.Duration("tool-timeout", 0, "per-attempt tool deadline (0 = none)")
 		faultRate = flag.Float64("fault-rate", 0, "chaos mode: probability each designer/simulator call fails")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this private address (empty = off)")
+		accessLog = flag.Bool("access-log", false, "log one structured line per request to stderr")
 	)
 	flag.Parse()
 
 	if *faultRate < 0 || *faultRate > 1 {
 		log.Fatalf("-fault-rate %g out of [0,1]", *faultRate)
 	}
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	svc := server.NewWithOptions(server.Options{
 		Workers: *workers, Queue: *queue, CacheSize: *cacheSize, JobTimeout: *jobTime,
 		RetryMax: *retryMax, BreakerThreshold: *breakThr,
 		ToolTimeout: *toolTime, FaultRate: *faultRate,
+		AccessLog: logger,
 	})
 	srv := &http.Server{
 		Addr:         *addr,
@@ -69,6 +86,10 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("artisan-server listening on %s", *addr)
+	if *debugAddr != "" {
+		telemetry.ServeDebug(*debugAddr, svc.Registry(), errc)
+		log.Printf("debug server (pprof + /metrics) on %s", *debugAddr)
+	}
 
 	select {
 	case err := <-errc:

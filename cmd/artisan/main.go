@@ -9,6 +9,7 @@
 //	artisan -prompt "gain >85dB, PM >55°, GBW >0.7MHz, Power <250uW, CL=10pF"
 //	artisan -group G-5 -transcript          # show the full chat log
 //	artisan -group G-3 -width 3 -tune       # wide ToT + BO tuning
+//	artisan -group G-1 -trace               # print the span tree of the run
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"artisan/internal/experiment"
 	"artisan/internal/llm"
 	"artisan/internal/spec"
+	"artisan/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 		model      = flag.String("model", "artisan", "designer model: artisan | gpt4 | llama2")
 		yield_     = flag.Bool("yield", false, "run Monte-Carlo mismatch yield on the result")
 		corners    = flag.Bool("corners", false, "run the five-corner PVT sweep on the result")
+		trace      = flag.Bool("trace", false, "print the telemetry span tree of the design run")
 	)
 	flag.Parse()
 
@@ -78,8 +81,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	var tracer *telemetry.Tracer
+	if *trace {
+		tracer = telemetry.NewTracer(1)
+		ctx = telemetry.WithTracer(ctx, tracer)
+	}
+
 	fmt.Println("Spec:", sp)
 	out, err := a.Design(ctx, sp)
+	if tracer != nil {
+		// The root span ("core.design") covers the whole workflow; its
+		// children are the agent session, tool invocations, MNA solves,
+		// and the gm/Id mapping.
+		for _, root := range tracer.Traces() {
+			fmt.Println("\nTrace:")
+			fmt.Print(root.Tree())
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "artisan:", err)
 		os.Exit(1)

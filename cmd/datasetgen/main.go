@@ -18,6 +18,7 @@ import (
 
 	"artisan/internal/corpus"
 	"artisan/internal/llm"
+	"artisan/internal/telemetry"
 )
 
 // dumpJSONL writes the four dataset splits as JSON-lines files.
@@ -65,8 +66,17 @@ func main() {
 		train   = flag.Bool("train", false, "run the DAPT+SFT training simulation")
 		samples = flag.Int("samples", 0, "print this many example samples per split")
 		dump    = flag.String("dump", "", "write the dataset as JSONL files into this directory")
+		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address while generating (empty = off)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		// Large -scale builds are CPU- and allocation-heavy; pprof makes
+		// them profileable: go tool pprof http://<addr>/debug/pprof/profile
+		errc := make(chan error, 1)
+		telemetry.ServeDebug(*debug, nil, errc)
+		fmt.Fprintf(os.Stderr, "datasetgen: pprof on %s\n", *debug)
+	}
 
 	cfg := corpus.DefaultConfig(*seed)
 	cfg.Scale = *scale

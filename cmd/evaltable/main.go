@@ -7,6 +7,7 @@
 //	evaltable                       # full Table 3 (10 trials, budget 250)
 //	evaltable -trials 3 -budget 80  # quick run
 //	evaltable -workers 8            # parallel trials (identical results, less wall-clock)
+//	evaltable -phases               # measured per-phase time breakdown from trace spans
 //	evaltable -fig7                 # chat logs of Artisan/GPT-4/Llama2
 //	evaltable -fig6                 # the example circuits
 package main
@@ -36,6 +37,7 @@ func main() {
 		groups  = flag.String("groups", "", "comma-separated group subset (default all)")
 		methods = flag.String("methods", "", "comma-separated method subset (default all)")
 		workers = flag.Int("workers", 1, "fan trials out over N workers (results identical to serial)")
+		phases  = flag.Bool("phases", false, "print the measured per-phase time breakdown after the table")
 		fig6    = flag.Bool("fig6", false, "print the Fig. 6 example circuits instead")
 		fig7    = flag.Bool("fig7", false, "print the Fig. 7 chat logs instead")
 	)
@@ -72,6 +74,10 @@ func main() {
 	}
 	fmt.Print(t3)
 	fmt.Println()
+	if *phases {
+		fmt.Print(t3.PhaseBreakdown())
+		fmt.Println()
+	}
 	gs := cfg.Groups
 	if len(gs) == 0 {
 		gs = []string{"G-1", "G-2", "G-3", "G-4", "G-5"}

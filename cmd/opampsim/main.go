@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"artisan/internal/mna"
 	"artisan/internal/netlist"
 	"artisan/internal/plot"
+	"artisan/internal/telemetry"
 	"artisan/internal/units"
 )
 
@@ -32,6 +34,7 @@ func main() {
 		tran   = flag.Bool("tran", false, "print the closed-loop step response (unity feedback)")
 		stepV  = flag.Float64("step", 0.5, "step amplitude for -tran, V")
 		doPlot = flag.Bool("plot", false, "render ASCII plots for -sweep and -tran")
+		trace  = flag.Bool("trace", false, "print the span tree of the analysis (sweep + pole/zero solves)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,7 +61,19 @@ func main() {
 	}
 	fmt.Printf("parsed %q: %d devices, %d nodes\n", nl.Title, len(nl.Devices), len(nl.Nodes()))
 
-	rep, err := measure.Analyze(nl, *out)
+	ctx := context.Background()
+	var tracer *telemetry.Tracer
+	if *trace {
+		tracer = telemetry.NewTracer(4)
+		ctx = telemetry.WithTracer(ctx, tracer)
+	}
+	rep, err := measure.AnalyzeContext(ctx, nl, *out)
+	if tracer != nil {
+		fmt.Println("trace:")
+		for _, root := range tracer.Traces() {
+			fmt.Print(root.Tree())
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "opampsim:", err)
 		os.Exit(1)

@@ -10,6 +10,7 @@ import (
 	"artisan/internal/netlist"
 	"artisan/internal/resilience"
 	"artisan/internal/spec"
+	"artisan/internal/telemetry"
 	"artisan/internal/topology"
 )
 
@@ -158,6 +159,11 @@ func (s *Session) Run(ctx context.Context) (*Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var span *telemetry.Span
+	ctx, span = telemetry.StartSpan(ctx, "agents.session")
+	span.SetAttr("model", s.Designer.Name())
+	span.SetAttr("spec", s.Spec.Name)
+	defer span.End()
 	tr := &Transcript{Model: s.Designer.Name()}
 	out := &Outcome{Transcript: tr}
 	fail := func(reason string) (*Outcome, error) {
@@ -210,7 +216,10 @@ func (s *Session) Run(ctx context.Context) (*Outcome, error) {
 			}
 			return &attempt{arch: arch, reason: err.Error()}, nil
 		}
+		_, cotSpan := telemetry.StartSpan(ctx, "cot.design")
+		cotSpan.SetAttr("arch", arch)
 		res, err := design.Design(arch, s.Spec, knobs)
+		cotSpan.End()
 		if err != nil {
 			return &attempt{arch: arch, reason: err.Error()}, nil
 		}
@@ -345,6 +354,8 @@ func (s *Session) Run(ctx context.Context) (*Outcome, error) {
 // proposeArchitectures is the first rung of the degradation ladder:
 // retried primary designer, then the fallback model.
 func (s *Session) proposeArchitectures(ctx context.Context, width int, degrade func(string, error)) ([]llm.ArchChoice, error) {
+	ctx, span := telemetry.StartSpan(ctx, "llm.propose_architectures")
+	defer span.End()
 	var primaryErr error
 	primary := func(ctx context.Context) ([]llm.ArchChoice, error) {
 		var cs []llm.ArchChoice
@@ -371,6 +382,9 @@ func (s *Session) proposeArchitectures(ctx context.Context, width int, degrade f
 
 // proposeKnobs mirrors proposeArchitectures for the CoT design knobs.
 func (s *Session) proposeKnobs(ctx context.Context, arch string, degrade func(string, error)) (design.Knobs, error) {
+	ctx, span := telemetry.StartSpan(ctx, "llm.propose_knobs")
+	span.SetAttr("arch", arch)
+	defer span.End()
 	var primaryErr error
 	primary := func(ctx context.Context) (design.Knobs, error) {
 		var k design.Knobs
@@ -399,6 +413,8 @@ func (s *Session) proposeKnobs(ctx context.Context, arch string, degrade func(st
 // fallback here — a session that cannot modify simply keeps its best
 // attempt, which is already graceful.
 func (s *Session) proposeModification(ctx context.Context, failure string) (llm.Modification, error) {
+	ctx, span := telemetry.StartSpan(ctx, "llm.propose_modification")
+	defer span.End()
 	var mod llm.Modification
 	err := s.retryDo(ctx, "ProposeModification", func(ctx context.Context) error {
 		var err error

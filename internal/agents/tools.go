@@ -20,6 +20,7 @@ import (
 	"artisan/internal/resilience"
 	"artisan/internal/sizing"
 	"artisan/internal/spec"
+	"artisan/internal/telemetry"
 	"artisan/internal/topology"
 )
 
@@ -54,6 +55,8 @@ func (c *Calculator) Invoke(ctx context.Context, input string) (string, error) {
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
+	_, span := telemetry.StartSpan(ctx, "tool.calculator")
+	defer span.End()
 	return c.sess.Run(input)
 }
 
@@ -102,11 +105,14 @@ func (s *Simulator) MeasureNetlist(ctx context.Context, nl *netlist.Netlist) (me
 		return measure.Report{}, err
 	}
 	s.Invocations++
+	ctx, span := telemetry.StartSpan(ctx, "tool.simulator")
+	defer span.End()
+	span.SetAttr("invocation", fmt.Sprintf("%d", s.Invocations))
 	f, err := s.Faults.Apply(ctx, "simulator")
 	if err != nil {
 		return measure.Report{}, err
 	}
-	rep, err := measure.Analyze(nl, "out")
+	rep, err := measure.AnalyzeContext(ctx, nl, "out")
 	if err == nil && f == resilience.FaultCorrupt {
 		// Corrupted-but-parseable: the report decodes fine but the GBW is
 		// three orders off, so only spec verification can catch it.
@@ -187,6 +193,8 @@ func (t *Tuner) Tune(ctx context.Context, topo *topology.Topology, sp spec.Spec)
 	if err := ctx.Err(); err != nil {
 		return nil, measure.Report{}, 0, err
 	}
+	ctx, span := telemetry.StartSpan(ctx, "tool.tuner")
+	defer span.End()
 	type slot struct {
 		set func(tp *topology.Topology, v float64)
 		cur float64
@@ -236,7 +244,7 @@ func (t *Tuner) Tune(ctx context.Context, topo *topology.Topology, sp spec.Spec)
 		}
 		return Score(sp, rep)
 	}}
-	res, err := sizing.Optimize(prob, t.Budget)
+	res, err := sizing.OptimizeContext(ctx, prob, t.Budget)
 	if err != nil {
 		return nil, measure.Report{}, 0, err
 	}

@@ -19,6 +19,7 @@ import (
 	"artisan/internal/llm"
 	"artisan/internal/resilience"
 	"artisan/internal/spec"
+	"artisan/internal/telemetry"
 	"artisan/internal/units"
 )
 
@@ -62,8 +63,15 @@ type Output struct {
 }
 
 // Design runs the full workflow for a spec. Cancelling ctx aborts the
-// session at the next stage boundary.
+// session at the next stage boundary. When the context carries a
+// telemetry.Tracer, the whole run is traced: a "core.design" root span
+// with children for the agent session, tool invocations, MNA solves,
+// and BO sizing.
 func (a *Artisan) Design(ctx context.Context, sp spec.Spec) (*Output, error) {
+	var span *telemetry.Span
+	ctx, span = telemetry.StartSpan(ctx, "core.design")
+	span.SetAttr("spec", sp.Name)
+	defer span.End()
 	session := agents.NewSession(a.Model, sp, a.Opts)
 	session.Res = a.Res
 	if a.Faults != nil {
@@ -76,7 +84,9 @@ func (a *Artisan) Design(ctx context.Context, sp spec.Spec) (*Output, error) {
 	}
 	res := &Output{Outcome: out, Spec: sp}
 	if out.Success && out.Topology != nil {
+		_, mapSpan := telemetry.StartSpan(ctx, "gmid.map")
 		tn, err := gmid.Map(a.Tech, a.Plan, out.Topology, sp.VDD)
+		mapSpan.End()
 		if err != nil {
 			// The behavioral design stands even if a corner-case mapping
 			// fails; record it in the transcript instead of failing.

@@ -13,6 +13,7 @@ import (
 	"artisan/internal/opt"
 	"artisan/internal/resilience"
 	"artisan/internal/spec"
+	"artisan/internal/telemetry"
 	"artisan/internal/units"
 )
 
@@ -86,10 +87,25 @@ type Cell struct {
 // SuccessRate renders "k/n".
 func (c Cell) SuccessRate() string { return fmt.Sprintf("%d/%d", c.Successes, c.Trials) }
 
-// Table3 is the full comparison.
+// Table3 is the full comparison. Cells carry the modeled (cost-model)
+// times and stay comparable structs; the measured, trace-derived phase
+// breakdowns live here, keyed by "method|group", because they are
+// wall-clock observations that differ run to run.
 type Table3 struct {
-	Cells []Cell
-	Cfg   Config
+	Cells  []Cell
+	Cfg    Config
+	Phases map[string]PhaseTimes
+}
+
+// addPhases stores a cell's measured breakdown, if any.
+func (t *Table3) addPhases(m Method, group string, pt PhaseTimes) {
+	if len(pt) == 0 {
+		return
+	}
+	if t.Phases == nil {
+		t.Phases = map[string]PhaseTimes{}
+	}
+	t.Phases[phaseKey(m, group)] = pt
 }
 
 // Run executes the comparison.
@@ -125,11 +141,12 @@ func RunContext(ctx context.Context, cfg Config) (*Table3, error) {
 	t3 := &Table3{Cfg: cfg}
 	for _, m := range cfg.Methods {
 		for _, g := range groups {
-			cell, err := runCell(ctx, m, g, cfg)
+			cell, phases, err := runCell(ctx, m, g, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: %s on %s: %w", m, g.Name, err)
 			}
 			t3.Cells = append(t3.Cells, cell)
+			t3.addPhases(m, g.Name, phases)
 		}
 	}
 	return t3, nil
@@ -169,8 +186,10 @@ func runParallel(ctx context.Context, cfg Config, groups []spec.Spec) (*Table3, 
 	t3 := &Table3{Cfg: cfg}
 	for ci := 0; ci*cfg.Trials < len(results); ci++ {
 		task := tasks[ci*cfg.Trials]
-		cell := aggregateCell(task.m, task.g, cfg, results[ci*cfg.Trials:(ci+1)*cfg.Trials])
+		cellResults := results[ci*cfg.Trials : (ci+1)*cfg.Trials]
+		cell := aggregateCell(task.m, task.g, cfg, cellResults)
 		t3.Cells = append(t3.Cells, cell)
+		t3.addPhases(task.m, task.g.Name, meanPhases(cellResults))
 	}
 	return t3, nil
 }
@@ -179,6 +198,9 @@ type trialResult struct {
 	ok   bool
 	rep  measure.Report
 	time time.Duration
+	// phases is the measured trace-derived breakdown; nil for the
+	// black-box baselines, which emit no spans.
+	phases PhaseTimes
 }
 
 // trialSeed derives the deterministic per-trial seed; it depends only on
@@ -187,19 +209,19 @@ func trialSeed(base int64, trial int, group string) int64 {
 	return base + int64(trial)*1009 + hashGroup(group)
 }
 
-func runCell(ctx context.Context, m Method, g spec.Spec, cfg Config) (Cell, error) {
+func runCell(ctx context.Context, m Method, g spec.Spec, cfg Config) (Cell, PhaseTimes, error) {
 	var results []trialResult
 	for i := 0; i < cfg.Trials; i++ {
 		if err := ctx.Err(); err != nil {
-			return Cell{Method: m, Group: g.Name, Trials: cfg.Trials}, err
+			return Cell{Method: m, Group: g.Name, Trials: cfg.Trials}, nil, err
 		}
 		tr, err := runTrial(ctx, m, g, cfg, trialSeed(cfg.Seed, i, g.Name))
 		if err != nil {
-			return Cell{Method: m, Group: g.Name, Trials: cfg.Trials}, err
+			return Cell{Method: m, Group: g.Name, Trials: cfg.Trials}, nil, err
 		}
 		results = append(results, tr)
 	}
-	return aggregateCell(m, g, cfg, results), nil
+	return aggregateCell(m, g, cfg, results), meanPhases(results), nil
 }
 
 // aggregateCell folds trial results into one Table 3 cell. Shared by the
@@ -265,13 +287,16 @@ func runTrial(ctx context.Context, m Method, g spec.Spec, cfg Config, seed int64
 		} else {
 			model = llm.NewLlama2Model()
 		}
-		out, err := agents.NewSession(model, g, agents.DefaultOptions()).Run(ctx)
+		tracer := telemetry.NewTracer(1)
+		out, err := agents.NewSession(model, g, agents.DefaultOptions()).
+			Run(telemetry.WithTracer(ctx, tracer))
 		if err != nil {
 			return trialResult{}, err
 		}
 		// The paper prints "-" for time: the off-the-shelf LLMs never
 		// complete a run.
-		return trialResult{ok: out.Success, rep: out.Report}, nil
+		return trialResult{ok: out.Success, rep: out.Report,
+			phases: phasesFromTrace(tracer.Traces())}, nil
 	case MethodArtisan:
 		var designer llm.DesignerModel = llm.NewDomainModel(seed, cfg.Temperature)
 		sess := agents.NewSession(designer, g, agents.DefaultOptions())
@@ -285,12 +310,16 @@ func runTrial(ctx context.Context, m Method, g spec.Spec, cfg Config, seed int64
 				Fallback: llm.NewDomainModel(seed, 0),
 			}
 		}
-		out, err := sess.Run(ctx)
+		// Each trial gets its own single-slot tracer: the recorded session
+		// span tree becomes the cell's measured phase breakdown.
+		tracer := telemetry.NewTracer(1)
+		out, err := sess.Run(telemetry.WithTracer(ctx, tracer))
 		if err != nil {
 			return trialResult{}, err
 		}
 		return trialResult{ok: out.Success, rep: out.Report,
-			time: cfg.Cost.ArtisanTime(out.SimCount, out.QACount, out.Success)}, nil
+			time:   cfg.Cost.ArtisanTime(out.SimCount, out.QACount, out.Success),
+			phases: phasesFromTrace(tracer.Traces())}, nil
 	}
 	return trialResult{}, fmt.Errorf("unknown method %q", m)
 }

@@ -54,9 +54,10 @@ var (
 
 // Job is one tracked unit of work.
 type Job struct {
-	id  string
-	fn  Func
-	key string
+	id        string
+	fn        Func
+	key       string
+	requestID string
 
 	mu       sync.Mutex
 	status   Status
@@ -94,9 +95,13 @@ type Snapshot struct {
 	// after a later attempt succeeds, so flaky runs stay diagnosable.
 	Attempts int
 	LastErr  string
-	Created  time.Time
-	Started  time.Time
-	Finished time.Time
+	// RequestID correlates the job with the HTTP request that submitted
+	// it (the X-Request-ID header); empty for jobs submitted outside a
+	// request context.
+	RequestID string
+	Created   time.Time
+	Started   time.Time
+	Finished  time.Time
 }
 
 // Snapshot copies the job's state under its lock.
@@ -105,7 +110,7 @@ func (j *Job) Snapshot() Snapshot {
 	defer j.mu.Unlock()
 	s := Snapshot{
 		ID: j.id, Status: j.status, Cached: j.cached, Result: j.result,
-		Attempts: j.attempts, LastErr: j.lastErr,
+		Attempts: j.attempts, LastErr: j.lastErr, RequestID: j.requestID,
 		Created: j.created, Started: j.started, Finished: j.finished,
 	}
 	if j.err != nil {
@@ -228,6 +233,10 @@ type SubmitOpts struct {
 	// result. A cache hit completes the job instantly without running
 	// fn; a successful run stores its result under the key.
 	Key string
+	// RequestID tags the job with the correlation id of the request that
+	// submitted it, so a queued job can be matched to its access-log
+	// line.
+	RequestID string
 }
 
 // Submit enqueues fn. It never blocks: when the pending queue is full it
@@ -240,12 +249,13 @@ func (m *Manager) Submit(fn Func, opts SubmitOpts) (*Job, error) {
 	}
 	m.seq++
 	j := &Job{
-		id:      fmt.Sprintf("j-%d", m.seq),
-		fn:      fn,
-		key:     opts.Key,
-		status:  StatusQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:        fmt.Sprintf("j-%d", m.seq),
+		fn:        fn,
+		key:       opts.Key,
+		requestID: opts.RequestID,
+		status:    StatusQueued,
+		created:   time.Now(),
+		done:      make(chan struct{}),
 	}
 	if opts.Key != "" {
 		if v, ok := m.cache.Get(opts.Key); ok {
@@ -355,6 +365,14 @@ func (m *Manager) Cancel(id string) error {
 
 // CacheStats reports the result cache's hit/miss counters and size.
 func (m *Manager) CacheStats() CacheStats { return m.cache.Stats() }
+
+// QueueDepth reports how many submitted jobs are waiting for a worker
+// right now — the direct saturation signal (previously only observable
+// via ErrQueueFull rejects). Exposed as a gauge on /metrics.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// QueueCapacity reports the pending-queue bound.
+func (m *Manager) QueueCapacity() int { return m.cfg.Queue }
 
 func (m *Manager) worker() {
 	defer m.wg.Done()

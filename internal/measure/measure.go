@@ -6,6 +6,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -92,13 +93,25 @@ func Analyze(nl *netlist.Netlist, out string) (Report, error) {
 	return AnalyzeWith(nl, out, DefaultPowerModel())
 }
 
+// AnalyzeContext is Analyze with context propagation: the MNA solves it
+// performs (sweep, poles, zeros) emit telemetry spans when the context
+// carries a tracer.
+func AnalyzeContext(ctx context.Context, nl *netlist.Netlist, out string) (Report, error) {
+	return AnalyzeWithContext(ctx, nl, out, DefaultPowerModel())
+}
+
 // AnalyzeWith is Analyze with an explicit power model.
 func AnalyzeWith(nl *netlist.Netlist, out string, pm PowerModel) (Report, error) {
+	return AnalyzeWithContext(context.Background(), nl, out, pm)
+}
+
+// AnalyzeWithContext is AnalyzeContext with an explicit power model.
+func AnalyzeWithContext(ctx context.Context, nl *netlist.Netlist, out string, pm PowerModel) (Report, error) {
 	c, err := mna.Compile(nl)
 	if err != nil {
 		return Report{}, err
 	}
-	pts, err := c.Sweep(out, sweepStart, sweepStop, sweepPerDecade)
+	pts, err := c.SweepContext(ctx, out, sweepStart, sweepStop, sweepPerDecade)
 	if err != nil {
 		return Report{}, err
 	}
@@ -168,7 +181,7 @@ func AnalyzeWith(nl *netlist.Netlist, out string, pm PowerModel) (Report, error)
 	}
 
 	// Stability via pole locations.
-	poles, err := c.Poles()
+	poles, err := c.PolesContext(ctx)
 	if err == nil {
 		rep.NumPoles = len(poles)
 		rep.Stable = true
@@ -178,7 +191,7 @@ func AnalyzeWith(nl *netlist.Netlist, out string, pm PowerModel) (Report, error)
 			}
 		}
 	}
-	if zeros, err := c.Zeros(out); err == nil {
+	if zeros, err := c.ZerosContext(ctx, out); err == nil {
 		rep.NumZeros = len(zeros)
 	}
 	return rep, nil

@@ -1,0 +1,42 @@
+package mna
+
+import (
+	"context"
+	"fmt"
+
+	"artisan/internal/telemetry"
+)
+
+// Context-aware wrappers around the solver entry points. They add
+// telemetry spans — one per MNA solve — so a traced design session shows
+// where simulation time goes; without a tracer in ctx the span calls are
+// free. The solves themselves are unchanged.
+
+// SweepContext is Sweep with a telemetry span ("mna.sweep") recording
+// the matrix size and point count.
+func (c *Circuit) SweepContext(ctx context.Context, out string, fStart, fStop float64, perDecade int) ([]TFPoint, error) {
+	_, span := telemetry.StartSpan(ctx, "mna.sweep")
+	defer span.End()
+	pts, err := c.Sweep(out, fStart, fStop, perDecade)
+	span.SetAttr("size", fmt.Sprintf("%d", c.Size()))
+	span.SetAttr("points", fmt.Sprintf("%d", len(pts)))
+	return pts, err
+}
+
+// PolesContext is Poles with a telemetry span ("mna.poles").
+func (c *Circuit) PolesContext(ctx context.Context) ([]complex128, error) {
+	_, span := telemetry.StartSpan(ctx, "mna.poles")
+	defer span.End()
+	poles, err := c.Poles()
+	span.SetAttr("n", fmt.Sprintf("%d", len(poles)))
+	return poles, err
+}
+
+// ZerosContext is Zeros with a telemetry span ("mna.zeros").
+func (c *Circuit) ZerosContext(ctx context.Context, out string) ([]complex128, error) {
+	_, span := telemetry.StartSpan(ctx, "mna.zeros")
+	defer span.End()
+	zeros, err := c.Zeros(out)
+	span.SetAttr("n", fmt.Sprintf("%d", len(zeros)))
+	return zeros, err
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"mime"
 	"net/http"
@@ -30,6 +31,7 @@ import (
 	"artisan/internal/netlist"
 	"artisan/internal/resilience"
 	"artisan/internal/spec"
+	"artisan/internal/telemetry"
 )
 
 // maxBodyBytes bounds every POST body (resource guard).
@@ -63,6 +65,12 @@ type Options struct {
 	// designer and simulator call fails with this probability, injected
 	// by a seeded injector derived from each request's seed.
 	FaultRate float64
+	// AccessLog, when non-nil, receives one structured line per request
+	// (request id, method, route, status, bytes, latency).
+	AccessLog *slog.Logger
+	// TraceCapacity bounds the ring buffer of recent design traces served
+	// by GET /traces; default 64.
+	TraceCapacity int
 }
 
 // Server holds the service configuration.
@@ -78,6 +86,16 @@ type Server struct {
 	// breaker guards the simulator/sizer backends across all sessions, so
 	// a failure streak in one session short-circuits the next.
 	breaker *resilience.Breaker
+
+	// Telemetry: the metric registry behind GET /metrics, the trace ring
+	// behind GET /traces, the per-route HTTP instruments, the design
+	// outcome counters, and the optional access logger. See metrics.go.
+	reg           *telemetry.Registry
+	tracer        *telemetry.Tracer
+	httpm         *telemetry.HTTPMetrics
+	accessLog     *slog.Logger
+	designs       *telemetry.CounterVec
+	designSeconds *telemetry.Histogram
 }
 
 // New builds the service with default options.
@@ -112,16 +130,19 @@ func NewWithOptions(o Options) *Server {
 			Counters: counters,
 		}),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /groups", s.handleGroups)
-	s.mux.HandleFunc("GET /architectures", s.handleArchitectures)
-	s.mux.HandleFunc("POST /design", s.handleDesign)
-	s.mux.HandleFunc("POST /simulate", s.handleSimulate)
-	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
-	s.mux.HandleFunc("GET /jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	s.initTelemetry(o)
+	s.handle("GET /healthz", http.HandlerFunc(s.handleHealth))
+	s.handle("GET /stats", http.HandlerFunc(s.handleStats))
+	s.handle("GET /metrics", s.reg.Handler())
+	s.handle("GET /traces", http.HandlerFunc(s.handleTraces))
+	s.handle("GET /groups", http.HandlerFunc(s.handleGroups))
+	s.handle("GET /architectures", http.HandlerFunc(s.handleArchitectures))
+	s.handle("POST /design", http.HandlerFunc(s.handleDesign))
+	s.handle("POST /simulate", http.HandlerFunc(s.handleSimulate))
+	s.handle("POST /jobs", http.HandlerFunc(s.handleJobSubmit))
+	s.handle("GET /jobs", http.HandlerFunc(s.handleJobList))
+	s.handle("GET /jobs/{id}", http.HandlerFunc(s.handleJobGet))
+	s.handle("DELETE /jobs/{id}", http.HandlerFunc(s.handleJobCancel))
 	return s
 }
 
@@ -171,6 +192,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"jobs":       s.jobs.Counts(),
+		"queueDepth": s.jobs.QueueDepth(),
 		"cache":      s.jobs.CacheStats(),
 		"breaker":    s.breaker.State().String(),
 		"resilience": s.counters.Snapshot(),
@@ -185,6 +207,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"resilience": s.counters.Snapshot(),
 		"breaker":    s.breaker.State().String(),
 		"jobs":       s.jobs.Counts(),
+		"queueDepth": s.jobs.QueueDepth(),
 		"cache":      s.jobs.CacheStats(),
 		"config": map[string]any{
 			"retryMax":         s.opts.RetryMax,
@@ -322,12 +345,36 @@ func designKey(sp spec.Spec, req DesignRequest) string {
 }
 
 // designFunc builds the pool job that runs the full workflow with the
-// service's resilience ladder attached.
-func (s *Server) designFunc(sp spec.Spec, req DesignRequest) jobs.Func {
+// service's resilience ladder attached. Each run is traced into the
+// server's ring buffer under a "server.design" root span (carrying the
+// originating request id) and counted into artisan_designs_total and the
+// design-duration histogram.
+func (s *Server) designFunc(sp spec.Spec, req DesignRequest, requestID string) jobs.Func {
+	group := req.Group
+	if group == "" {
+		group = "custom"
+	}
 	return func(ctx context.Context) (any, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// The pool context is not the request context, so the tracer and
+		// correlation id are attached here, at run time.
+		ctx = telemetry.WithTracer(ctx, s.tracer)
+		var span *telemetry.Span
+		ctx, span = telemetry.StartSpan(ctx, "server.design")
+		span.SetAttr("group", group)
+		if requestID != "" {
+			span.SetAttr("requestID", requestID)
+		}
+		start := time.Now()
+		outcome := "error"
+		defer func() {
+			s.designSeconds.ObserveSince(start)
+			s.designs.With("artisan", group, outcome).Inc()
+			span.SetAttr("outcome", outcome)
+			span.End()
+		}()
 		a := core.NewWithModel(llm.NewDomainModel(req.Seed, req.Temperature))
 		a.Opts.TreeWidth = req.TreeWidth
 		a.Opts.Tune = req.Tune
@@ -357,6 +404,11 @@ func (s *Server) designFunc(sp spec.Spec, req DesignRequest) jobs.Func {
 			return nil, err // cancelled mid-run: discard the result
 		}
 		s.counters.Merge(out.Resilience)
+		if out.Success {
+			outcome = "success"
+		} else {
+			outcome = "fail"
+		}
 		resp := &DesignResponse{
 			Success:    out.Success,
 			Arch:       out.Arch,
@@ -398,7 +450,9 @@ func (s *Server) submitDesign(w http.ResponseWriter, r *http.Request) (*jobs.Job
 		writeErr(w, http.StatusBadRequest, err)
 		return nil, false
 	}
-	j, err := s.jobs.Submit(s.designFunc(sp, req), jobs.SubmitOpts{Key: designKey(sp, req)})
+	requestID := telemetry.RequestIDOf(r.Context())
+	j, err := s.jobs.Submit(s.designFunc(sp, req, requestID),
+		jobs.SubmitOpts{Key: designKey(sp, req), RequestID: requestID})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -448,16 +502,19 @@ type jobJSON struct {
 	Error    string `json:"error,omitempty"`
 	Attempts int    `json:"attempts,omitempty"`
 	LastErr  string `json:"lastError,omitempty"`
-	Created  string `json:"created"`
-	Started  string `json:"started,omitempty"`
-	Finished string `json:"finished,omitempty"`
-	Result   any    `json:"result,omitempty"`
+	// RequestID is the X-Request-ID of the submitting request, so a
+	// queued job can be correlated with its access-log line and trace.
+	RequestID string `json:"requestID,omitempty"`
+	Created   string `json:"created"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+	Result    any    `json:"result,omitempty"`
 }
 
 func toJobJSON(s jobs.Snapshot, includeResult bool) jobJSON {
 	out := jobJSON{
 		ID: s.ID, Status: string(s.Status), Cached: s.Cached, Error: s.Err,
-		Attempts: s.Attempts, LastErr: s.LastErr,
+		Attempts: s.Attempts, LastErr: s.LastErr, RequestID: s.RequestID,
 		Created: s.Created.UTC().Format(time.RFC3339Nano),
 	}
 	if !s.Started.IsZero() {

@@ -1,9 +1,12 @@
 package sizing
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"artisan/internal/telemetry"
 )
 
 // Problem is a bounded maximization problem. Eval may be expensive (one
@@ -61,9 +64,20 @@ func (p Problem) denorm(u []float64) []float64 {
 
 // Optimize runs GP-based Bayesian optimization (maximization).
 func Optimize(p Problem, o Options) (*Result, error) {
+	return OptimizeContext(context.Background(), p, o)
+}
+
+// OptimizeContext is Optimize with context propagation: the run emits
+// telemetry spans ("sizing.optimize" with "sizing.init" and "sizing.bo"
+// children) when the context carries a tracer, and a cancelled context
+// stops the BO loop at the next iteration boundary, returning the best
+// point found so far alongside the context's error.
+func OptimizeContext(ctx context.Context, p Problem, o Options) (*Result, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	ctx, span := telemetry.StartSpan(ctx, "sizing.optimize")
+	defer span.End()
 	if o.InitSamples < 2 {
 		o.InitSamples = 2
 	}
@@ -87,12 +101,21 @@ func Optimize(p Problem, o Options) (*Result, error) {
 		}
 		res.History = append(res.History, res.BestY)
 	}
+	defer func() { span.SetAttr("evals", fmt.Sprintf("%d", res.Evals)) }()
 
+	_, initSpan := telemetry.StartSpan(ctx, "sizing.init")
 	for _, u := range latinHypercube(o.InitSamples, d, rng) {
 		record(u)
 	}
+	initSpan.End()
 
+	_, boSpan := telemetry.StartSpan(ctx, "sizing.bo")
+	defer boSpan.End()
 	for it := 0; it < o.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			boSpan.SetAttr("cancelled", err.Error())
+			return res, err
+		}
 		g, err := fitGP(xs, ys)
 		if err != nil {
 			// Degenerate model (e.g. constant objective): fall back to

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// DebugMux builds the opt-in runtime-introspection mux served on a
+// separate listener (-debug-addr): the full net/http/pprof suite plus,
+// when reg is non-nil, a /metrics mirror so the debug port is
+// self-sufficient. Serve it on a loopback or otherwise protected
+// address — profiles expose internals.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	return mux
+}
+
+// ServeDebug starts the debug mux on addr in a background goroutine and
+// returns the server (for Shutdown). Listen errors surface on errc if
+// non-nil.
+func ServeDebug(addr string, reg *Registry, errc chan<- error) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: DebugMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		err := srv.ListenAndServe()
+		if errc != nil {
+			errc <- err
+		}
+	}()
+	return srv
+}
+
+// RegisterRuntime registers process-level gauges (goroutines, heap
+// bytes, GC cycles, uptime) on reg.
+func RegisterRuntime(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("artisan_process_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("artisan_process_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.CounterFunc("artisan_process_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+	reg.GaugeFunc("artisan_process_uptime_seconds",
+		"Seconds since the process registered its runtime metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition: families sorted
+// by name, HELP/TYPE headers, escaped label values, cumulative
+// histogram buckets with _sum and _count.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_requests_total", "Requests served.").Add(3)
+	g := r.Gauge("demo_queue_depth", "Jobs waiting.")
+	g.Set(2)
+	r.GaugeFunc("demo_workers", "Pool size.", func() float64 { return 4 })
+	v := r.CounterVec("demo_designs_total", "Designs by outcome.", "group", "outcome")
+	v.With("G-1", "success").Add(2)
+	v.With("G-2", `quo"te\back`).Inc()
+	h := r.Histogram("demo_latency_seconds", "Latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(7)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP demo_designs_total Designs by outcome.
+# TYPE demo_designs_total counter
+demo_designs_total{group="G-1",outcome="success"} 2
+demo_designs_total{group="G-2",outcome="quo\"te\\back"} 1
+# HELP demo_latency_seconds Latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{le="0.1"} 2
+demo_latency_seconds_bucket{le="0.5"} 3
+demo_latency_seconds_bucket{le="+Inf"} 4
+demo_latency_seconds_sum 7.4
+demo_latency_seconds_count 4
+# HELP demo_queue_depth Jobs waiting.
+# TYPE demo_queue_depth gauge
+demo_queue_depth 2
+# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total 3
+# HELP demo_workers Pool size.
+# TYPE demo_workers gauge
+demo_workers 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("demo_total", "d").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "demo_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// Callback instruments are read at scrape time, so successive scrapes
+// see the live value.
+func TestFuncInstrumentsAreLive(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.CounterFunc("demo_live_total", "live", func() float64 { return n })
+	scrape := func() string {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if !strings.Contains(scrape(), "demo_live_total 0") {
+		t.Error("first scrape should read 0")
+	}
+	n = 42
+	if !strings.Contains(scrape(), "demo_live_total 42") {
+		t.Error("second scrape should read 42")
+	}
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the correlation header accepted on requests and
+// echoed on every response.
+const RequestIDHeader = "X-Request-ID"
+
+// reqSeq backs the fallback request-id generator when crypto/rand is
+// unavailable (it essentially never is; the counter keeps ids unique
+// anyway).
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-digit request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%d", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID attaches a request id to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDOf returns the context's request id, or "".
+func RequestIDOf(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// HTTPMetrics instruments HTTP routes: a request counter by route and
+// status code, a latency histogram by route, and an in-flight gauge.
+type HTTPMetrics struct {
+	requests *CounterVec
+	latency  *HistogramVec
+	inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP instrument families on reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.CounterVec("artisan_http_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			"route", "code"),
+		latency: reg.HistogramVec("artisan_http_request_duration_seconds",
+			"HTTP request latency in seconds, by route pattern.",
+			DefBuckets, "route"),
+		inflight: reg.Gauge("artisan_http_in_flight_requests",
+			"HTTP requests currently being served."),
+	}
+}
+
+// statusWriter records the status code and byte count of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Middleware wraps next with the full request pipeline: X-Request-ID
+// propagation (accept the inbound header or generate one, echo it on the
+// response, carry it in the context), per-route latency and request
+// counting, and one structured access-log line per request when logger
+// is non-nil. route is the label value — typically the mux pattern the
+// handler was registered under.
+func (m *HTTPMetrics) Middleware(route string, logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(WithRequestID(r.Context(), id))
+
+		sw := &statusWriter{ResponseWriter: w}
+		m.inflight.Inc()
+		next.ServeHTTP(sw, r)
+		m.inflight.Dec()
+
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		m.requests.With(route, fmt.Sprintf("%d", sw.status)).Inc()
+		m.latency.With(route).Observe(elapsed.Seconds())
+		if logger != nil {
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "http",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("elapsed", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareRequestID(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	var seen string
+	h := m.Middleware("GET /x", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDOf(r.Context())
+		w.WriteHeader(http.StatusTeapot)
+	}))
+
+	// Inbound id is propagated and echoed.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "cafe1234")
+	h.ServeHTTP(rec, req)
+	if seen != "cafe1234" || rec.Header().Get(RequestIDHeader) != "cafe1234" {
+		t.Errorf("inbound id not propagated: ctx=%q header=%q", seen, rec.Header().Get(RequestIDHeader))
+	}
+
+	// Absent id is generated, non-empty, echoed.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if seen == "" || seen == "cafe1234" || rec.Header().Get(RequestIDHeader) != seen {
+		t.Errorf("generated id wrong: ctx=%q header=%q", seen, rec.Header().Get(RequestIDHeader))
+	}
+}
+
+func TestMiddlewareMetricsAndLog(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	h := m.Middleware("GET /y", logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("hello"))
+	}))
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/y", nil))
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		`artisan_http_requests_total{route="GET /y",code="200"} 3`,
+		`artisan_http_request_duration_seconds_count{route="GET /y"} 3`,
+		"artisan_http_in_flight_requests 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	logLine := logBuf.String()
+	for _, want := range []string{"method=GET", "route=\"GET /y\"", "status=200", "bytes=5", "id="} {
+		if !strings.Contains(logLine, want) {
+			t.Errorf("access log missing %q: %s", want, logLine)
+		}
+	}
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == "" || a == b {
+		t.Errorf("ids not unique: %q %q", a, b)
+	}
+}
+
+func TestDebugMuxServesPprofAndMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "d").Inc()
+	mux := DebugMux(reg)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "demo_total 1") {
+		t.Errorf("debug /metrics: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRegisterRuntime(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntime(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"artisan_process_goroutines", "artisan_process_uptime_seconds"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("runtime metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %g, want 3.5", got)
+	}
+	if r.Counter("test_ops_total", "ops") != c {
+		// same backing cell: the re-registration increments the original
+		r.Counter("test_ops_total", "ops").Inc()
+		if c.Value() != 4.5 {
+			t.Errorf("re-registered counter not shared: %g", c.Value())
+		}
+	}
+
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %g, want 4", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("negative counter add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestRegistrationMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("test_x_total", "x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "lat", []float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.1, 0.3, 0.9, 4} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-5.35) > 1e-12 {
+		t.Errorf("sum = %g, want 5.35", got)
+	}
+	// Bucket occupancy: ≤0.1 gets 0.05 and 0.1 (upper bounds are
+	// inclusive), ≤0.5 gets 0.3, ≤1 gets 0.9, +Inf gets 4.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_q_seconds", "q", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// 100 samples uniform in (0,1], 100 in (1,2]: the median sits at the
+	// 1s boundary, p75 in the middle of the (1,2] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("p50 = %g, want 1", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p75 = %g, want 1.5 (midpoint of (1,2])", got)
+	}
+	if got := h.Quantile(0.25); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p25 = %g, want 0.5 (midpoint of (0,1])", got)
+	}
+	// A sample beyond the last finite bound clamps to it.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("p100 = %g, want clamp to 4", got)
+	}
+}
+
+func TestLabelCardinality(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_designs_total", "designs", "method", "outcome")
+	v.With("artisan", "success").Inc()
+	v.With("artisan", "success").Inc()
+	v.With("artisan", "fail").Inc()
+	v.With("gpt4", "fail").Inc()
+	if got := r.Cardinality("test_designs_total"); got != 3 {
+		t.Errorf("cardinality = %d, want 3 distinct label settings", got)
+	}
+	if got := v.With("artisan", "success").Value(); got != 2 {
+		t.Errorf("series dedup broken: %g, want 2", got)
+	}
+	// Label values that differ only in separator placement must not
+	// collide ("a"+"bc" vs "ab"+"c").
+	v.With("a", "bc").Inc()
+	v.With("ab", "c").Add(5)
+	if v.With("a", "bc").Value() != 1 || v.With("ab", "c").Value() != 5 {
+		t.Error("label-value tuples collided")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestConcurrentIncAndObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "c")
+	g := r.Gauge("test_conc_depth", "g")
+	hv := r.HistogramVec("test_conc_seconds", "h", []float64{0.5, 1, 2}, "route")
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			h := hv.With("r")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%3) * 0.9)
+				_ = h.Quantile(0.5)
+				_ = c.Value()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %g, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %g, want 0", got)
+	}
+	if got := hv.With("r").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package telemetry is the observability layer of the Artisan service —
+// the answer to "where does a design request spend its time, and how is
+// the fleet doing right now". It is stdlib-only and has three parts:
+//
+//   - Metrics: a concurrent Registry of counters, gauges, and
+//     fixed-bucket histograms, with optional labels per instrument
+//     (e.g. artisan_designs_total{method,group,outcome}) and a
+//     Prometheus-text-format exposition handler for GET /metrics.
+//     Callback instruments (CounterFunc/GaugeFunc) fold externally
+//     maintained state — the resilience counters, the jobs cache, the
+//     queue depth — into the same registry, so /stats and /metrics
+//     report from one source of truth.
+//   - Tracing: lightweight spans propagated through context
+//     (StartSpan → child spans), collected per root into a Tracer's
+//     ring buffer of recent traces. The design pipeline threads spans
+//     from core.Design down through the agent session, tool
+//     invocations, MNA solves, and BO sizing iterations; the server
+//     serves recent traces on GET /traces and the experiment harness
+//     aggregates span durations into a measured per-phase breakdown.
+//   - Runtime introspection: an opt-in net/http/pprof debug mux,
+//     X-Request-ID propagation, structured access logging, and
+//     per-route latency histograms via HTTP middleware.
+//
+// Instruments are cheap (an atomic add on the hot path) and all types
+// are safe for concurrent use.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// metricKind discriminates the instrument families of a Registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families by name. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed kind and label schema; it owns
+// the label-value-addressed series.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one (family, label values) time series. Exactly one backing
+// is set: a value cell, a read callback, or a histogram.
+type series struct {
+	labelValues []string
+	val         *value
+	fn          func() float64
+	hist        *Histogram
+}
+
+// seriesKey joins label values unambiguously (label values may contain
+// any byte except 0xff, which never appears in UTF-8 text).
+func seriesKey(values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	k := values[0]
+	for _, v := range values[1:] {
+		k += "\xff" + v
+	}
+	return k
+}
+
+// validName reports whether name is a legal Prometheus metric name.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabel reports whether name is a legal label name.
+func validLabel(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the family with the given name, creating it on first
+// registration. A name re-registered with a different kind or label
+// schema panics: that is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabel(l) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: %q re-registered as %v, was %v", name, kind, f.kind))
+		}
+		if len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: %q re-registered with %d labels, was %d", name, len(labels), len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("telemetry: %q re-registered with labels %v, was %v", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// get returns the series for the label values, creating it with mk on
+// first use. Arity mismatches panic (a malformed call site).
+func (f *family) get(values []string, mk func() *series) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labelValues = append([]string(nil), values...)
+	f.series[key] = s
+	return s
+}
+
+// Cardinality reports the number of live series of the named family
+// (0 when the family is unknown).
+func (r *Registry) Cardinality(name string) int {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.series)
+}
+
+// snapshot returns the families sorted by name and, for each, its series
+// sorted by label key — the deterministic iteration order of the text
+// exposition.
+func (r *Registry) snapshot() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries copies the family's series sorted by label-value key.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, len(keys))
+	for i, k := range keys {
+		out[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	return out
+}

@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ctxKey namespaces the package's context values.
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	tracerKey
+	requestIDKey
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed operation in a trace tree. Spans are created with
+// StartSpan and closed with End; children attach themselves to the span
+// carried by their context. All methods are nil-receiver safe, so call
+// sites need no "is tracing on" conditionals — without a Tracer in the
+// context, StartSpan returns a nil span and the whole path is free.
+type Span struct {
+	name   string
+	start  time.Time
+	tracer *Tracer
+	root   bool
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// WithTracer attaches a Tracer to the context; every root span started
+// under it records its finished trace into the tracer's ring buffer.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerOf returns the context's Tracer, or nil.
+func TracerOf(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// SpanOf returns the context's active span, or nil.
+func SpanOf(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan begins a span named name. If the context already carries a
+// span, the new span becomes its child; otherwise it becomes a root
+// recorded by the context's Tracer when ended. Without a tracer the
+// returned span is nil (and safe to use).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	now := time.Now()
+	if parent := SpanOf(ctx); parent != nil {
+		s := &Span{name: name, start: now, tracer: parent.tracer}
+		parent.addChild(s)
+		return context.WithValue(ctx, spanKey, s), s
+	}
+	t := TracerOf(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{name: name, start: now, tracer: t, root: true}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// End closes the span (idempotent); ending a root records its trace.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	root := s.root
+	s.mu.Unlock()
+	if root && s.tracer != nil {
+		s.tracer.record(s)
+	}
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// Name returns the span name; nil-safe.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's start time.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns end−start, or the time elapsed so far for a span
+// still in flight.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// Attrs copies the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children copies the span's child list.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Tree renders the span and its descendants as an indented tree with
+// per-span durations — the -trace output of cmd/artisan.
+func (s *Span) Tree() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	writeTree(&b, s, 0)
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, s *Span, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%s %s", s.Name(), s.Duration().Round(time.Microsecond))
+	for _, a := range s.Attrs() {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children() {
+		writeTree(b, c, depth+1)
+	}
+}
+
+// SpanJSON is the wire form of a span tree (GET /traces).
+type SpanJSON struct {
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	Duration   string            `json:"duration"`
+	DurationNS int64             `json:"durationNs"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanJSON        `json:"children,omitempty"`
+}
+
+// JSON converts the span tree to its wire form.
+func (s *Span) JSON() SpanJSON {
+	d := s.Duration()
+	out := SpanJSON{
+		Name: s.Name(), Start: s.Start(),
+		Duration: d.String(), DurationNS: d.Nanoseconds(),
+	}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		out.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.Children() {
+		out.Children = append(out.Children, c.JSON())
+	}
+	return out
+}
+
+// Tracer collects finished root spans into a bounded ring of recent
+// traces. The zero value is not usable; call NewTracer.
+type Tracer struct {
+	mu    sync.Mutex
+	cap   int
+	roots []*Span
+	total uint64
+}
+
+// NewTracer returns a tracer retaining the most recent capacity traces
+// (minimum 1; 0 takes the default of 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity == 0 {
+		capacity = 16
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{cap: capacity}
+}
+
+func (t *Tracer) record(root *Span) {
+	t.mu.Lock()
+	t.total++
+	t.roots = append(t.roots, root)
+	if len(t.roots) > t.cap {
+		t.roots = append(t.roots[:0], t.roots[len(t.roots)-t.cap:]...)
+	}
+	t.mu.Unlock()
+}
+
+// Traces returns the retained traces, most recent first.
+func (t *Tracer) Traces() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.roots))
+	for i, r := range t.roots {
+		out[len(t.roots)-1-i] = r
+	}
+	return out
+}
+
+// Total reports how many traces were recorded over the tracer's
+// lifetime, including those already evicted from the ring.
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// SpanStat aggregates the spans sharing one name.
+type SpanStat struct {
+	Count int
+	Total time.Duration
+}
+
+// SumByName walks the trace trees and sums durations per span name —
+// the raw material of the experiment harness's measured per-phase
+// breakdown.
+func SumByName(roots []*Span) map[string]SpanStat {
+	out := make(map[string]SpanStat)
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		st := out[s.Name()]
+		st.Count++
+		st.Total += s.Duration()
+		out[s.Name()] = st
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		if r != nil {
+			walk(r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "core.design")
+	root.SetAttr("spec", "G-1")
+	cctx, child := StartSpan(ctx, "agents.session")
+	_, grand := StartSpan(cctx, "tool.simulator")
+	grand.End()
+	child.End()
+	if got := tr.Traces(); len(got) != 0 {
+		t.Fatalf("trace recorded before root ended: %d", len(got))
+	}
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Name() != "core.design" {
+		t.Errorf("root = %q", got.Name())
+	}
+	kids := got.Children()
+	if len(kids) != 1 || kids[0].Name() != "agents.session" {
+		t.Fatalf("children = %v", kids)
+	}
+	if gk := kids[0].Children(); len(gk) != 1 || gk[0].Name() != "tool.simulator" {
+		t.Fatalf("grandchildren wrong")
+	}
+	tree := got.Tree()
+	for _, wantLine := range []string{"core.design", "  agents.session", "    tool.simulator", "spec=G-1"} {
+		if !strings.Contains(tree, wantLine) {
+			t.Errorf("tree missing %q:\n%s", wantLine, tree)
+		}
+	}
+	j := got.JSON()
+	if j.Name != "core.design" || j.Attrs["spec"] != "G-1" || len(j.Children) != 1 {
+		t.Errorf("JSON form wrong: %+v", j)
+	}
+}
+
+func TestStartSpanWithoutTracerIsFree(t *testing.T) {
+	ctx, s := StartSpan(context.Background(), "anything")
+	if s != nil {
+		t.Fatal("span without tracer should be nil")
+	}
+	// The nil span is safe end to end.
+	s.SetAttr("k", "v")
+	s.End()
+	if s.Tree() != "" || s.Duration() != 0 || s.Name() != "" {
+		t.Error("nil span accessors should be zero")
+	}
+	if SpanOf(ctx) != nil {
+		t.Error("context should not carry a span")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		ctx := WithTracer(context.Background(), tr)
+		_, s := StartSpan(ctx, "root")
+		s.SetAttr("i", string(rune('a'+i)))
+		s.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("ring = %d, want 2", len(traces))
+	}
+	// Most recent first.
+	if traces[0].Attrs()[0].Value != "e" || traces[1].Attrs()[0].Value != "d" {
+		t.Errorf("ring order wrong: %v %v", traces[0].Attrs(), traces[1].Attrs())
+	}
+	if tr.Total() != 5 {
+		t.Errorf("total = %d, want 5", tr.Total())
+	}
+}
+
+func TestSumByName(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 2; i++ {
+		ctx := WithTracer(context.Background(), tr)
+		ctx, root := StartSpan(ctx, "session")
+		for j := 0; j < 3; j++ {
+			_, s := StartSpan(ctx, "tool.simulator")
+			s.End()
+		}
+		root.End()
+	}
+	stats := SumByName(tr.Traces())
+	if stats["session"].Count != 2 {
+		t.Errorf("session count = %d, want 2", stats["session"].Count)
+	}
+	if stats["tool.simulator"].Count != 6 {
+		t.Errorf("simulator count = %d, want 6", stats["tool.simulator"].Count)
+	}
+	if stats["session"].Total <= 0 {
+		t.Errorf("session total = %v, want > 0", stats["session"].Total)
+	}
+}
+
+func TestSpanDurationInFlight(t *testing.T) {
+	tr := NewTracer(1)
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "slow")
+	time.Sleep(time.Millisecond)
+	if s.Duration() <= 0 {
+		t.Error("in-flight duration should be positive")
+	}
+	s.End()
+	d := s.Duration()
+	time.Sleep(time.Millisecond)
+	if s.Duration() != d {
+		t.Error("duration must freeze at End")
+	}
+	s.End() // idempotent
+	if s.Duration() != d {
+		t.Error("second End must not move the end time")
+	}
+}
+
+// Concurrent sessions against one tracer, with concurrent scrapes —
+// the /traces + worker-pool shape, exercised under -race.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx := WithTracer(context.Background(), tr)
+				ctx, root := StartSpan(ctx, "session")
+				_, c := StartSpan(ctx, "tool")
+				c.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			for _, r := range tr.Traces() {
+				_ = r.Tree()
+				_ = r.JSON()
+			}
+		}
+	}()
+	wg.Wait()
+	if tr.Total() != 200 {
+		t.Errorf("total = %d, want 200", tr.Total())
+	}
+}

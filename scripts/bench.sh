@@ -1,0 +1,31 @@
+#!/bin/sh
+# Runs the root seed benchmarks once each (-benchtime 1x: a smoke-level
+# data point, not a statistically tight one) and writes the results as a
+# JSON array of {name, ns_op, allocs_op} for cross-PR comparison.
+#
+# Usage: scripts/bench.sh [out.json]   (default BENCH.json)
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -bench . -benchmem -benchtime 1x -run '^$' . | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    ns = ""
+    allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"ns_op\": %s, \"allocs_op\": %s}", name, ns, (allocs == "" ? "0" : allocs)
+}
+BEGIN { printf "[\n" }
+END { printf "\n]\n" }
+' "$tmp" > "$out"
+echo "bench: wrote $out"

@@ -8,7 +8,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/jobs ./internal/server ./internal/experiment \
-    ./internal/resilience ./internal/agents
+    ./internal/resilience ./internal/agents ./internal/telemetry
 
 # Chaos smoke: the seeded fault injector, retry, and breaker tests must
 # be deterministic — -count=2 re-runs them to catch order dependence.
