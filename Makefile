@@ -13,10 +13,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrency-heavy packages must stay race-clean.
+# The concurrency-heavy packages must stay race-clean. mna/measure are
+# here for the parallel sweep and the shared workspace pool.
 race:
 	$(GO) test -race ./internal/jobs ./internal/server ./internal/experiment \
-		./internal/resilience ./internal/agents ./internal/telemetry
+		./internal/resilience ./internal/agents ./internal/telemetry \
+		./internal/mna ./internal/measure ./internal/sizing
 
 # Chaos smoke: deterministic fault-injection suite, run twice.
 chaos:
@@ -24,7 +26,7 @@ chaos:
 
 check: vet build test race chaos
 
-# bench runs the seed benchmarks once and records (name, ns/op,
-# allocs/op) as JSON for cross-PR comparison.
+# bench records (name, ns/op, allocs/op) as JSON for cross-PR comparison
+# and fails on a >20% hot-path regression vs the previous PR's baseline.
 bench:
-	scripts/bench.sh BENCH_pr3.json
+	scripts/bench.sh BENCH_pr4.json BENCH_pr3.json

@@ -295,6 +295,72 @@ func BenchmarkMNASolve(b *testing.B) {
 	}
 }
 
+// BenchmarkCircuitSolveAt measures one workspace-backed MNA solve of the
+// reference NMC system — the innermost unit of every sweep, pole search,
+// and BO evaluation. Steady state must be allocation-free.
+func BenchmarkCircuitSolveAt(b *testing.B) {
+	topo := topology.NMC(25.13e-6, 37.7e-6, 251.3e-6, 4e-12, 3e-12)
+	nl, err := topo.Elaborate(topology.DefaultEnv())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := mna.Compile(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := c.NewWorkspace()
+	s := mna.Omega(1e6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.SolveAt(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCircuitSweep measures the 289-point AC sweep of measure.Analyze
+// in isolation, on the parallel path.
+func BenchmarkCircuitSweep(b *testing.B) {
+	topo := topology.NMC(25.13e-6, 37.7e-6, 251.3e-6, 4e-12, 3e-12)
+	nl, err := topo.Elaborate(topology.DefaultEnv())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := mna.Compile(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Sweep("out", 1e-2, 1e10, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoleZero measures pole plus zero extraction on a freshly
+// compiled NMC circuit (the cold path measure.Analyze takes per report).
+func BenchmarkPoleZero(b *testing.B) {
+	topo := topology.NMC(25.13e-6, 37.7e-6, 251.3e-6, 4e-12, 3e-12)
+	nl, err := topo.Elaborate(topology.DefaultEnv())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := mna.Compile(nl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Poles(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Zeros("out"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTraining runs the simulated DAPT+SFT pipeline on a small
 // dataset build.
 func BenchmarkTraining(b *testing.B) {

@@ -264,6 +264,12 @@ func (t *Tuner) Tune(ctx context.Context, topo *topology.Topology, sp spec.Spec)
 func describeFailure(sp spec.Spec, rep measure.Report) string {
 	vs := sp.Check(rep)
 	var parts []string
+	if rep.PoleZeroErr != "" {
+		// Distinguish "verified unstable" from "stability unknown": the
+		// simulator's root finder failed, so the stability verdict below
+		// is not evidence about the circuit.
+		parts = append(parts, fmt.Sprintf("pole/zero extraction failed (%s), stability is unverified", rep.PoleZeroErr))
+	}
 	for _, v := range vs {
 		switch v.Metric {
 		case "GBW(Hz)":

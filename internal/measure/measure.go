@@ -36,12 +36,21 @@ type Report struct {
 	Stable   bool    // all poles strictly in the LHP
 	NumPoles int
 	NumZeros int
+	// PoleZeroErr is non-empty when pole/zero extraction failed (e.g. the
+	// root finder did not converge). Stable=false with a non-empty
+	// PoleZeroErr means "stability unknown", not "verified unstable" —
+	// previously the two cases were indistinguishable.
+	PoleZeroErr string
 }
 
 // String renders the report in a compact human-readable form.
 func (r Report) String() string {
-	return fmt.Sprintf("Gain=%.1fdB GBW=%sHz PM=%.1f° Power=%sW stable=%v",
+	s := fmt.Sprintf("Gain=%.1fdB GBW=%sHz PM=%.1f° Power=%sW stable=%v",
 		r.GainDB, units.Format(r.GBW), r.PM, units.Format(r.Power), r.Stable)
+	if r.PoleZeroErr != "" {
+		s += fmt.Sprintf(" pz-error=%q", r.PoleZeroErr)
+	}
+	return s
 }
 
 // PowerModel converts stage transconductances to supply power. Stage
@@ -180,9 +189,12 @@ func AnalyzeWithContext(ctx context.Context, nl *netlist.Netlist, out string, pm
 		}
 	}
 
-	// Stability via pole locations.
-	poles, err := c.PolesContext(ctx)
-	if err == nil {
+	// Stability via pole locations. A root-finder failure is surfaced in
+	// PoleZeroErr rather than silently reported as "0 poles, unstable".
+	poles, perr := c.PolesContext(ctx)
+	if perr != nil {
+		rep.PoleZeroErr = perr.Error()
+	} else {
 		rep.NumPoles = len(poles)
 		rep.Stable = true
 		for _, p := range poles {
@@ -191,7 +203,13 @@ func AnalyzeWithContext(ctx context.Context, nl *netlist.Netlist, out string, pm
 			}
 		}
 	}
-	if zeros, err := c.ZerosContext(ctx, out); err == nil {
+	zeros, zerr := c.ZerosContext(ctx, out)
+	switch {
+	case zerr != nil:
+		if rep.PoleZeroErr == "" {
+			rep.PoleZeroErr = zerr.Error()
+		}
+	default:
 		rep.NumZeros = len(zeros)
 	}
 	return rep, nil

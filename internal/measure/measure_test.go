@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -183,5 +184,50 @@ func TestLogInterp(t *testing.T) {
 	f := logInterp(100, 10e3, 10, 0.1, 1)
 	if !units.ApproxEqual(f, 1e3, 1e-9) {
 		t.Errorf("logInterp = %g, want 1000", f)
+	}
+}
+
+// TestPoleZeroErrSurfaced is the regression test for silently swallowed
+// root-finder failures: a 66-section RC ladder has polynomial degree 66,
+// beyond the root finder's plausibility cap, so pole extraction fails.
+// The old code reported Stable=false, NumPoles=0 — indistinguishable from
+// a verified-unstable amplifier. The failure must now be surfaced.
+func TestPoleZeroErrSurfaced(t *testing.T) {
+	nl := netlist.New("deep rc ladder")
+	nl.AddV("V1", "in", "0", 1)
+	prev := "in"
+	const sections = 66
+	for i := 0; i < sections; i++ {
+		node := fmt.Sprintf("n%d", i)
+		if i == sections-1 {
+			node = "out"
+		}
+		nl.AddR(fmt.Sprintf("R%d", i), prev, node, 1e3)
+		nl.AddC(fmt.Sprintf("C%d", i), node, "0", 1e-9)
+		prev = node
+	}
+	rep, err := Analyze(nl, "out")
+	if err != nil {
+		t.Fatalf("Analyze should succeed (the AC sweep is fine): %v", err)
+	}
+	if rep.PoleZeroErr == "" {
+		t.Fatal("PoleZeroErr empty: root-finder failure was swallowed again")
+	}
+	if rep.Stable {
+		t.Error("Stable = true despite failed pole extraction")
+	}
+	if rep.NumPoles != 0 {
+		t.Errorf("NumPoles = %d, want 0 (unknown)", rep.NumPoles)
+	}
+	if !strings.Contains(rep.String(), "pz-error") {
+		t.Errorf("String() = %q, want the pole/zero failure surfaced", rep.String())
+	}
+	// A healthy circuit keeps the field empty.
+	rep, err = Analyze(buildNMC(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PoleZeroErr != "" {
+		t.Errorf("healthy NMC got PoleZeroErr = %q", rep.PoleZeroErr)
 	}
 }

@@ -3,13 +3,16 @@ package mna
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"artisan/internal/netlist"
 )
 
 // Circuit is a netlist compiled for MNA analysis: a node index, the
 // frequency-independent conductance matrix G, the susceptance matrix C
-// (A(s) = G + sC), and the excitation vector b.
+// (A(s) = G + sC), and the excitation vector b. A compiled Circuit is
+// immutable, so all its analysis entry points are safe for concurrent
+// use: per-solve scratch lives in pooled Workspaces.
 type Circuit struct {
 	nl       *netlist.Netlist
 	nodeIdx  map[string]int // non-ground nodes → 0..nn-1
@@ -19,6 +22,17 @@ type Circuit struct {
 	G, C     *Matrix
 	b        []complex128
 	branches map[string]int // source name → branch row
+
+	wsPool sync.Pool // *Workspace scratch for the pooled entry points
+
+	// Memoized polynomial-degree probes for the root finder: the degree
+	// of det(G+sC) (and of each output's Cramer numerator) is a property
+	// of the compiled circuit, so six high-radius determinant evaluations
+	// per Poles/Zeros call collapse to one probe per Circuit.
+	degMu    sync.Mutex
+	polesDeg int
+	polesOK  bool
+	zerosDeg map[string]int
 }
 
 // Compile validates and compiles a netlist. Exactly the devices supported
@@ -151,7 +165,8 @@ func (c *Circuit) NodeIndex(node string) (int, error) {
 	return i, nil
 }
 
-// system assembles A(s) = G + sC.
+// system assembles A(s) = G + sC into a fresh matrix (transient analysis
+// keeps factored copies alive, so it cannot use the pooled scratch).
 func (c *Circuit) system(s complex128) *Matrix {
 	a := NewMatrix(c.Size())
 	a.AddScaled(c.G, c.C, s)
@@ -159,14 +174,17 @@ func (c *Circuit) system(s complex128) *Matrix {
 }
 
 // SolveAt solves the MNA system at complex frequency s and returns the
-// full unknown vector (node voltages then branch currents).
+// full unknown vector (node voltages then branch currents). The returned
+// slice is caller-owned; the one allocation per call is that result. Use
+// a Workspace directly for the fully allocation-free variant.
 func (c *Circuit) SolveAt(s complex128) ([]complex128, error) {
-	lu := Factor(c.system(s))
-	x, err := lu.Solve(c.b)
+	w := c.workspace()
+	defer c.release(w)
+	x, err := w.SolveAt(s)
 	if err != nil {
-		return nil, fmt.Errorf("mna: solve at s=%v: %w", s, err)
+		return nil, err
 	}
-	return x, nil
+	return append([]complex128(nil), x...), nil
 }
 
 // VoltageAt solves at s and returns the voltage of one node.
@@ -178,16 +196,21 @@ func (c *Circuit) VoltageAt(node string, s complex128) (complex128, error) {
 	if err != nil {
 		return 0, err
 	}
-	x, err := c.SolveAt(s)
+	w := c.workspace()
+	defer c.release(w)
+	x, err := w.SolveAt(s)
 	if err != nil {
 		return 0, err
 	}
 	return x[i], nil
 }
 
-// DetAt returns det(G + sC) in scaled form.
+// DetAt returns det(G + sC) in scaled form, allocation-free in steady
+// state.
 func (c *Circuit) DetAt(s complex128) ScaledDet {
-	return Det(c.system(s))
+	w := c.workspace()
+	defer c.release(w)
+	return w.DetAt(s)
 }
 
 // NumerDetAt returns the Cramer numerator determinant for the given output
@@ -195,15 +218,9 @@ func (c *Circuit) DetAt(s complex128) ScaledDet {
 // Zeros of the transfer function V(out)/excitation are the roots of this
 // polynomial in s.
 func (c *Circuit) NumerDetAt(node string, s complex128) (ScaledDet, error) {
-	j, err := c.NodeIndex(node)
-	if err != nil {
-		return ScaledDet{}, err
-	}
-	a := c.system(s)
-	for i := 0; i < a.N; i++ {
-		a.Set(i, j, c.b[i])
-	}
-	return Det(a), nil
+	w := c.workspace()
+	defer c.release(w)
+	return w.NumerDetAt(node, s)
 }
 
 // Omega converts a frequency in Hz to the Laplace variable jω.

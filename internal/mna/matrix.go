@@ -63,7 +63,10 @@ func (d ScaledDet) Ratio(e ScaledDet) complex128 {
 	if e.Zero() {
 		return cmplx.Inf()
 	}
-	return d.Mant / e.Mant * complex(math.Pow(2, float64(d.Exp-e.Exp)), 0)
+	r := d.Mant / e.Mant
+	// Scaling by 2^k is exact; Ldexp avoids a Pow call on the hot path.
+	k := d.Exp - e.Exp
+	return complex(math.Ldexp(real(r), k), math.Ldexp(imag(r), k))
 }
 
 // Log10Mag returns log10|d|.
@@ -75,18 +78,32 @@ func (d ScaledDet) Log10Mag() float64 {
 }
 
 func normalizeDet(m complex128, e int) (complex128, int) {
-	a := cmplx.Abs(m)
+	// The max-norm is enough to pick a scaling exponent (any norm keeps
+	// |mant| within a factor of 2 of 1), and Ldexp scaling by 2^-ex is
+	// exact — no hypot, no Pow.
+	a := math.Abs(real(m))
+	if b := math.Abs(imag(m)); b > a {
+		a = b
+	}
 	if a == 0 {
 		return 0, 0
 	}
 	_, ex := math.Frexp(a)
-	return m * complex(math.Pow(2, float64(-ex)), 0), e + ex
+	return complex(math.Ldexp(real(m), -ex), math.Ldexp(imag(m), -ex)), e + ex
 }
 
-// LU holds an in-place LU factorization with partial pivoting.
+// abs1 is the 1-norm |re|+|im|, a cheap stand-in for cmplx.Abs wherever
+// only relative magnitude ordering matters.
+func abs1(z complex128) float64 {
+	return math.Abs(real(z)) + math.Abs(imag(z))
+}
+
+// LU holds an in-place LU factorization with partial pivoting. A zero LU
+// is ready for FactorInto; its pivot buffer is reused across refactors.
 type LU struct {
 	m     *Matrix
 	pivot []int
+	idiag []complex128 // reciprocal U diagonal, filled during factor()
 	sign  int
 	ok    bool
 }
@@ -95,43 +112,69 @@ type LU struct {
 // precision) matrices are flagged; Solve will then fail but Det returns a
 // (possibly zero) determinant.
 func Factor(a *Matrix) *LU {
-	n := a.N
-	lu := &LU{m: a.Clone(), pivot: make([]int, n), sign: 1, ok: true}
-	m := lu.m
+	lu := &LU{}
+	lu.FactorInto(a.Clone())
+	return lu
+}
+
+// FactorInto factors a in place: a's storage is overwritten with the L and
+// U factors and the LU borrows it (no copy). The pivot buffer is reused
+// when it is large enough, so repeated FactorInto calls on same-sized
+// matrices allocate nothing.
+func (lu *LU) FactorInto(a *Matrix) {
+	if cap(lu.pivot) < a.N {
+		lu.pivot = make([]int, a.N)
+	}
+	if cap(lu.idiag) < a.N {
+		lu.idiag = make([]complex128, a.N)
+	}
+	lu.pivot = lu.pivot[:a.N]
+	lu.idiag = lu.idiag[:a.N]
+	lu.m, lu.sign, lu.ok = a, 1, true
+	lu.factor()
+}
+
+func (lu *LU) factor() {
+	n := lu.m.N
+	d := lu.m.data
 	for k := 0; k < n; k++ {
-		// partial pivot
-		p, best := k, cmplx.Abs(m.At(k, k))
+		// Partial pivot on the 1-norm |re|+|im|: any norm is valid for
+		// pivot selection and it avoids hypot in the innermost search.
+		p, best := k, abs1(d[k*n+k])
 		for i := k + 1; i < n; i++ {
-			if v := cmplx.Abs(m.At(i, k)); v > best {
+			if v := abs1(d[i*n+k]); v > best {
 				p, best = i, v
 			}
 		}
 		lu.pivot[k] = p
 		if p != k {
+			rk, rp := d[k*n:k*n+n], d[p*n:p*n+n]
 			for j := 0; j < n; j++ {
-				vk, vp := m.At(k, j), m.At(p, j)
-				m.Set(k, j, vp)
-				m.Set(p, j, vk)
+				rk[j], rp[j] = rp[j], rk[j]
 			}
 			lu.sign = -lu.sign
 		}
-		pv := m.At(k, k)
+		pv := d[k*n+k]
 		if pv == 0 {
 			lu.ok = false
+			lu.idiag[k] = 0
 			continue
 		}
+		rowk := d[k*n : k*n+n]
+		ipv := 1 / pv // one division per column, multiplies below
+		lu.idiag[k] = ipv
 		for i := k + 1; i < n; i++ {
-			f := m.At(i, k) / pv
-			m.Set(i, k, f)
+			rowi := d[i*n : i*n+n]
+			f := rowi[k] * ipv
+			rowi[k] = f
 			if f == 0 {
 				continue
 			}
 			for j := k + 1; j < n; j++ {
-				m.Add(i, j, -f*m.At(k, j))
+				rowi[j] -= f * rowk[j]
 			}
 		}
 	}
-	return lu
 }
 
 // OK reports whether the factorization succeeded (matrix nonsingular).
@@ -153,14 +196,26 @@ func (lu *LU) Det() ScaledDet {
 
 // Solve computes x solving Ax = b (b is not modified).
 func (lu *LU) Solve(b []complex128) ([]complex128, error) {
+	x := make([]complex128, len(b))
+	if err := lu.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves Ax = b into the caller-provided x (len(x) == len(b) ==
+// N; x and b may be the same slice). b is otherwise not modified. It
+// performs no allocations.
+func (lu *LU) SolveInto(x, b []complex128) error {
 	if !lu.ok {
-		return nil, fmt.Errorf("mna: singular matrix")
+		return fmt.Errorf("mna: singular matrix")
 	}
 	n := lu.m.N
-	if len(b) != n {
-		return nil, fmt.Errorf("mna: rhs length %d, want %d", len(b), n)
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("mna: rhs length %d/%d, want %d", len(b), len(x), n)
 	}
-	x := append([]complex128(nil), b...)
+	copy(x, b)
+	d := lu.m.data
 	// apply pivots
 	for k := 0; k < n; k++ {
 		p := lu.pivot[k]
@@ -170,21 +225,23 @@ func (lu *LU) Solve(b []complex128) ([]complex128, error) {
 	}
 	// forward substitution (L has unit diagonal)
 	for i := 1; i < n; i++ {
+		row := d[i*n : i*n+n]
 		s := x[i]
 		for j := 0; j < i; j++ {
-			s -= lu.m.At(i, j) * x[j]
+			s -= row[j] * x[j]
 		}
 		x[i] = s
 	}
-	// back substitution
+	// back substitution (reciprocal diagonal precomputed by factor)
 	for i := n - 1; i >= 0; i-- {
+		row := d[i*n : i*n+n]
 		s := x[i]
 		for j := i + 1; j < n; j++ {
-			s -= lu.m.At(i, j) * x[j]
+			s -= row[j] * x[j]
 		}
-		x[i] = s / lu.m.At(i, i)
+		x[i] = s * lu.idiag[i]
 	}
-	return x, nil
+	return nil
 }
 
 // Det computes det(a) directly.

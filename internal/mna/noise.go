@@ -95,24 +95,18 @@ func (c *Circuit) NoiseSweep(out string, fStart, fStop float64, perDecade int, o
 	if fStart == fStop {
 		freqs = []float64{fStart}
 	} else {
-		decades := math.Log10(fStop / fStart)
-		count := int(math.Ceil(decades*float64(perDecade))) + 1
-		for i := 0; i < count; i++ {
-			f := fStart * math.Pow(10, float64(i)/float64(perDecade))
-			if f > fStop {
-				f = fStop
-			}
-			freqs = append(freqs, f)
-			if f == fStop {
-				break
-			}
-		}
+		freqs = logFreqs(fStart, fStop, perDecade)
 	}
 
+	// One workspace serves the whole sweep: each frequency is a single
+	// in-place factorization, each source one allocation-free solve.
+	w := c.workspace()
+	defer c.release(w)
 	pts := make([]NoisePoint, 0, len(freqs))
 	rhs := make([]complex128, n)
+	x := make([]complex128, n)
 	for _, f := range freqs {
-		lu := Factor(c.system(Omega(f)))
+		lu := w.factorAt(Omega(f))
 		if !lu.OK() {
 			return nil, fmt.Errorf("mna: singular at %g Hz", f)
 		}
@@ -129,8 +123,7 @@ func (c *Circuit) NoiseSweep(out string, fStart, fStop float64, perDecade int, o
 			if s.b >= 0 {
 				rhs[s.b] += 1
 			}
-			x, err := lu.Solve(rhs)
-			if err != nil {
+			if err := lu.SolveInto(x, rhs); err != nil {
 				return nil, err
 			}
 			h := cmplx.Abs(x[j])

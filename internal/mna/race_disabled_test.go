@@ -1,0 +1,5 @@
+//go:build !race
+
+package mna
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package mna
+
+// raceEnabled skips steady-state allocation assertions under the race
+// detector, which deliberately defeats sync.Pool caching.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package mna
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -15,6 +16,12 @@ import (
 // evaluations.
 type detFunc func(s complex128) ScaledDet
 
+// ErrNoConverge reports that Aberth iteration either failed to settle
+// within its iteration budget or settled on points that do not satisfy
+// the residual check (spurious roots). Callers must treat the root set as
+// unknown, not as empty.
+var ErrNoConverge = errors.New("root finder did not converge")
+
 const (
 	// Radii (rad/s) used to probe the asymptotic slope of log|D|; chosen
 	// beyond any physically plausible pole of a behavioral opamp
@@ -22,6 +29,16 @@ const (
 	degreeProbeR1 = 1e16
 	degreeProbeR2 = 1e17
 	maxPolyDegree = 64
+
+	aberthMaxIter = 400
+	aberthTol     = 1e-10 // per-iteration relative step for early exit
+	// Acceptance thresholds: a run that stopped on the iteration budget
+	// still passes if its final step was below aberthLooseTol, and every
+	// returned root must have a Newton step (≈ distance to the true
+	// root) below aberthResidTol relative to its magnitude.
+	aberthLooseTol  = 1e-6
+	aberthResidTol  = 1e-6
+	aberthDedupeTol = 1e-12 // merge numerically coincident duplicates
 )
 
 // polyDegree estimates deg D by the slope of log10|D| between two radii far
@@ -74,6 +91,9 @@ func newtonRatio(f detFunc, s complex128) complex128 {
 }
 
 // aberth runs Aberth–Ehrlich simultaneous iteration for all deg roots of f.
+// It fails with ErrNoConverge when the iteration does not settle or when a
+// settled point fails the residual check — previously such spurious roots
+// were silently reported as poles.
 func aberth(f detFunc, deg int) ([]complex128, error) {
 	if deg == 0 {
 		return nil, nil
@@ -91,9 +111,8 @@ func aberth(f detFunc, deg int) ([]complex128, error) {
 		}
 		roots[i] = cmplx.Rect(r, ang)
 	}
-	const maxIter = 400
-	const tol = 1e-10
-	for iter := 0; iter < maxIter; iter++ {
+	lastStep := math.Inf(1)
+	for iter := 0; iter < aberthMaxIter; iter++ {
 		maxStep := 0.0
 		for i := range roots {
 			ni := newtonRatio(f, roots[i])
@@ -121,9 +140,14 @@ func aberth(f detFunc, deg int) ([]complex128, error) {
 				maxStep = rel
 			}
 		}
-		if maxStep < tol {
+		lastStep = maxStep
+		if maxStep < aberthTol {
 			break
 		}
+	}
+	if lastStep > aberthLooseTol {
+		return nil, fmt.Errorf("mna: aberth: max relative step %.3g after %d iterations: %w",
+			lastStep, aberthMaxIter, ErrNoConverge)
 	}
 	// Enforce conjugate symmetry: D has real coefficients, so roots with
 	// tiny imaginary parts are real.
@@ -133,7 +157,39 @@ func aberth(f detFunc, deg int) ([]complex128, error) {
 		}
 	}
 	sortRoots(roots)
+	roots = dedupeRoots(roots)
+	// Residual check: at a converged simple (or multiple) root the Newton
+	// step |D/D'| is a direct estimate of the remaining distance to the
+	// true root. A settled iterate with a large step is a spurious root
+	// (typically from an overestimated degree).
+	for _, r := range roots {
+		ni := newtonRatio(f, r)
+		if rel := cmplx.Abs(ni) / (cmplx.Abs(r) + 1); rel > aberthResidTol {
+			return nil, fmt.Errorf("mna: aberth: root %v fails residual check (rel step %.3g): %w",
+				r, rel, ErrNoConverge)
+		}
+	}
 	return roots, nil
+}
+
+// dedupeRoots merges numerically coincident neighbours (relative distance
+// below aberthDedupeTol) after sorting. Genuine multiple roots settle with
+// far larger separations (Aberth converges only linearly on them), so only
+// degenerate duplicates — e.g. two iterates collapsed through the
+// zero-separation guard — are removed.
+func dedupeRoots(rs []complex128) []complex128 {
+	if len(rs) < 2 {
+		return rs
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := out[len(out)-1]
+		if cmplx.Abs(r-last) <= aberthDedupeTol*(cmplx.Abs(last)+1) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 func sortRoots(rs []complex128) {
@@ -146,13 +202,59 @@ func sortRoots(rs []complex128) {
 	})
 }
 
+// polesDegree returns the memoized degree of det(G + sC), probing it on
+// first use.
+func (c *Circuit) polesDegree(f detFunc) (int, error) {
+	c.degMu.Lock()
+	if c.polesOK {
+		d := c.polesDeg
+		c.degMu.Unlock()
+		return d, nil
+	}
+	c.degMu.Unlock()
+	d, err := polyDegree(f)
+	if err != nil {
+		return 0, err
+	}
+	c.degMu.Lock()
+	c.polesDeg, c.polesOK = d, true
+	c.degMu.Unlock()
+	return d, nil
+}
+
+// zerosDegree returns the memoized Cramer-numerator degree for one output
+// node.
+func (c *Circuit) zerosDegree(out string, f detFunc) (int, error) {
+	c.degMu.Lock()
+	if d, ok := c.zerosDeg[out]; ok {
+		c.degMu.Unlock()
+		return d, nil
+	}
+	c.degMu.Unlock()
+	d, err := polyDegree(f)
+	if err != nil {
+		return 0, err
+	}
+	c.degMu.Lock()
+	if c.zerosDeg == nil {
+		c.zerosDeg = map[string]int{}
+	}
+	c.zerosDeg[out] = d
+	c.degMu.Unlock()
+	return d, nil
+}
+
 // Poles returns the natural frequencies of the circuit: the roots of
 // det(G + sC) in rad/s, sorted by magnitude. The excitation sources are
 // part of the system (a voltage source pins its node), matching what a
-// simulator's pz analysis reports for the driven network.
+// simulator's pz analysis reports for the driven network. All determinant
+// evaluations share one Workspace, so a Poles call is a single small
+// allocation burst.
 func (c *Circuit) Poles() ([]complex128, error) {
-	f := func(s complex128) ScaledDet { return c.DetAt(s) }
-	deg, err := polyDegree(f)
+	w := c.workspace()
+	defer c.release(w)
+	f := func(s complex128) ScaledDet { return w.DetAt(s) }
+	deg, err := c.polesDegree(f)
 	if err != nil {
 		return nil, err
 	}
@@ -162,17 +264,21 @@ func (c *Circuit) Poles() ([]complex128, error) {
 // Zeros returns the transmission zeros of V(out)/excitation in rad/s: the
 // roots of the Cramer numerator determinant.
 func (c *Circuit) Zeros(out string) ([]complex128, error) {
-	if _, err := c.NodeIndex(out); err != nil {
+	j, err := c.NodeIndex(out)
+	if err != nil {
 		return nil, err
 	}
+	w := c.workspace()
+	defer c.release(w)
 	f := func(s complex128) ScaledDet {
-		d, err := c.NumerDetAt(out, s)
-		if err != nil {
-			return ScaledDet{}
+		w.a.AddScaled(c.G, c.C, s)
+		for i := 0; i < w.a.N; i++ {
+			w.a.Set(i, j, c.b[i])
 		}
-		return d
+		w.lu.FactorInto(w.a)
+		return w.lu.Det()
 	}
-	deg, err := polyDegree(f)
+	deg, err := c.zerosDegree(out, f)
 	if err != nil {
 		return nil, err
 	}

@@ -301,6 +301,9 @@ type metricsJSON struct {
 	// JSON has no representation for +Inf.
 	GMdB    *float64 `json:"gmDB"`
 	NumPole int      `json:"numPoles"`
+	// PoleZeroErr is set when pole/zero extraction failed: stable=false
+	// then means "stability unknown", not "verified unstable".
+	PoleZeroErr string `json:"poleZeroErr,omitempty"`
 }
 
 type modeledDurations struct {
@@ -582,6 +585,7 @@ func toMetricsJSON(rep measure.Report) *metricsJSON {
 	m := &metricsJSON{
 		GainDB: rep.GainDB, GBWHz: rep.GBW, PMDeg: rep.PM, PowerW: rep.Power,
 		Stable: rep.Stable, F3dBHz: rep.F3dB, NumPole: rep.NumPoles,
+		PoleZeroErr: rep.PoleZeroErr,
 	}
 	if !math.IsInf(rep.GM, 0) && !math.IsNaN(rep.GM) {
 		gm := rep.GM

@@ -90,8 +90,26 @@ func OptimizeContext(ctx context.Context, p Problem, o Options) (*Result, error)
 	res := &Result{BestY: math.Inf(-1)}
 	var xs [][]float64
 	var ys []float64
+	// A single non-finite objective value would poison the GP
+	// standardization (NaN mean/std make every EI comparison false, so no
+	// candidate ever wins). Clamp NaN/±Inf to just below the worst finite
+	// value seen, so the model merely ranks the point last.
+	worstFinite, haveFinite := 0.0, false
+	sanitize := func(y float64) float64 {
+		if !math.IsNaN(y) && !math.IsInf(y, 0) {
+			if !haveFinite || y < worstFinite {
+				worstFinite, haveFinite = y, true
+			}
+			return y
+		}
+		if haveFinite {
+			return worstFinite - 1
+		}
+		return -1e6
+	}
 	record := func(u []float64) {
-		y := p.Eval(p.denorm(u))
+		u = append([]float64(nil), u...) // callers may reuse their buffer
+		y := sanitize(p.Eval(p.denorm(u)))
 		xs = append(xs, u)
 		ys = append(ys, y)
 		res.Evals++
@@ -111,6 +129,11 @@ func OptimizeContext(ctx context.Context, p Problem, o Options) (*Result, error)
 
 	_, boSpan := telemetry.StartSpan(ctx, "sizing.bo")
 	defer boSpan.End()
+	// The acquisition loop scores o.Candidates points per iteration; both
+	// the scratch candidate and the incumbent winner live in reused
+	// buffers (record copies before retaining).
+	cand := make([]float64, d)
+	bestCand := make([]float64, d)
 	for it := 0; it < o.Iterations; it++ {
 		if err := ctx.Err(); err != nil {
 			boSpan.SetAttr("cancelled", err.Error())
@@ -120,35 +143,40 @@ func OptimizeContext(ctx context.Context, p Problem, o Options) (*Result, error)
 		if err != nil {
 			// Degenerate model (e.g. constant objective): fall back to
 			// random exploration rather than aborting the tuning run.
-			u := make([]float64, d)
-			for i := range u {
-				u[i] = rng.Float64()
+			for i := range cand {
+				cand[i] = rng.Float64()
 			}
-			record(u)
+			record(cand)
 			continue
 		}
-		bestStd := (res.BestY - g.mean) / g.std
-		_ = bestStd
 		// Candidate pool: uniform + Gaussian perturbations of the
 		// incumbent (local exploitation).
 		bestU := xs[argmax(ys)]
-		var bestCand []float64
+		haveBest := false
 		bestEI := math.Inf(-1)
 		for c := 0; c < o.Candidates; c++ {
-			u := make([]float64, d)
 			if c%3 == 0 {
-				for i := range u {
-					u[i] = clamp01(bestU[i] + rng.NormFloat64()*0.08)
+				for i := range cand {
+					cand[i] = clamp01(bestU[i] + rng.NormFloat64()*0.08)
 				}
 			} else {
-				for i := range u {
-					u[i] = rng.Float64()
+				for i := range cand {
+					cand[i] = rng.Float64()
 				}
 			}
-			mu, sd := g.predict(u)
+			mu, sd := g.predict(cand)
 			ei := expectedImprovement(mu, sd, res.BestY)
 			if ei > bestEI {
-				bestEI, bestCand = ei, u
+				bestEI = ei
+				copy(bestCand, cand)
+				haveBest = true
+			}
+		}
+		if !haveBest {
+			// No candidate won (EI degenerate everywhere): evaluate a
+			// random point instead of handing the objective a nil slice.
+			for i := range bestCand {
+				bestCand[i] = rng.Float64()
 			}
 		}
 		record(bestCand)

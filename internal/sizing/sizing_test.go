@@ -249,3 +249,65 @@ func TestExpectedImprovement(t *testing.T) {
 		t.Error("EI not increasing in sd below incumbent")
 	}
 }
+
+// TestOptimizeNaNObjective is the regression test for the NaN-poisoning
+// bug: a single non-finite objective value used to contaminate the GP
+// standardization, after which no acquisition candidate ever won and the
+// optimizer crashed evaluating a nil candidate (index out of range in the
+// objective). Non-finite values must be sanitized and the run completed.
+func TestOptimizeNaNObjective(t *testing.T) {
+	for name, eval := range map[string]func(x []float64) float64{
+		"allNaN":  func(x []float64) float64 { _ = x[1]; return math.NaN() },
+		"allPInf": func(x []float64) float64 { _ = x[1]; return math.Inf(1) },
+		"mixed": func(x []float64) float64 {
+			if x[0] > 0 { // half the domain is non-finite
+				return math.NaN()
+			}
+			return -(x[0]*x[0] + x[1]*x[1])
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			p := Problem{Lo: []float64{-1, -1}, Hi: []float64{1, 1}, Eval: eval}
+			o := DefaultOptions(7)
+			o.InitSamples, o.Iterations, o.Candidates = 6, 10, 64
+			res, err := Optimize(p, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Evals != o.InitSamples+o.Iterations {
+				t.Errorf("Evals = %d, want %d", res.Evals, o.InitSamples+o.Iterations)
+			}
+			if len(res.BestX) != 2 {
+				t.Fatalf("BestX = %v, want a 2-vector", res.BestX)
+			}
+			if math.IsNaN(res.BestY) || math.IsInf(res.BestY, 0) {
+				t.Errorf("BestY = %v, want finite", res.BestY)
+			}
+			for _, h := range res.History {
+				if math.IsNaN(h) || math.IsInf(h, 0) {
+					t.Fatalf("History contains non-finite value %v", h)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizeMixedNaNStillImproves checks the sanitized run still
+// optimizes on the finite half of the domain.
+func TestOptimizeMixedNaNStillImproves(t *testing.T) {
+	target := []float64{-0.5, 0.25}
+	p := Problem{Lo: []float64{-1, -1}, Hi: []float64{1, 1}, Eval: func(x []float64) float64 {
+		if x[0] > 0 {
+			return math.NaN()
+		}
+		dx, dy := x[0]-target[0], x[1]-target[1]
+		return -(dx*dx + dy*dy)
+	}}
+	res, err := Optimize(p, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestY < -0.05 {
+		t.Errorf("BestY = %g at %v, want near 0 (found the finite basin)", res.BestY, res.BestX)
+	}
+}

@@ -1,16 +1,22 @@
 #!/bin/sh
-# Runs the root seed benchmarks once each (-benchtime 1x: a smoke-level
-# data point, not a statistically tight one) and writes the results as a
+# Runs the root seed benchmarks at -benchtime 50x — enough iterations that
+# pooled workspaces are warm and the recorded ns/op reflects steady-state
+# hot-path cost rather than first-call setup — and writes the results as a
 # JSON array of {name, ns_op, allocs_op} for cross-PR comparison.
 #
-# Usage: scripts/bench.sh [out.json]   (default BENCH.json)
+# With a baseline file, the hot-path (MNA solver / measure) benchmarks are
+# additionally diffed against it and the script fails on a >20% ns/op or
+# allocs/op regression — the CI perf gate for the simulation inner loop.
+#
+# Usage: scripts/bench.sh [out.json [baseline.json]]   (default BENCH.json)
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH.json}"
+baseline="${2:-}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -bench . -benchmem -benchtime 1x -run '^$' . | tee "$tmp"
+go test -bench . -benchmem -benchtime 50x -run '^$' . | tee "$tmp"
 
 awk '
 /^Benchmark/ {
@@ -29,3 +35,42 @@ BEGIN { printf "[\n" }
 END { printf "\n]\n" }
 ' "$tmp" > "$out"
 echo "bench: wrote $out"
+
+if [ -n "$baseline" ]; then
+    if [ ! -f "$baseline" ]; then
+        echo "bench: baseline $baseline missing, skipping perf gate" >&2
+        exit 0
+    fi
+    # The gate covers the simulation hot path only: agent/experiment
+    # benchmarks are dominated by modeled LLM behavior and too noisy at
+    # -benchtime 1x to gate on.
+    awk -v hot='^Benchmark(MNASolve|CircuitSolveAt|CircuitSweep|PoleZero|NoiseSweep|Fig1Skeleton|TransientStep)' '
+    function field(line, key,   rest) {
+        rest = line
+        sub(".*\"" key "\": *", "", rest)
+        sub("[,}].*", "", rest)
+        return rest
+    }
+    /"name"/ {
+        name = field($0, "name")
+        sub("\".*", "", name)  # strip trailing quote remnants
+        gsub("\"", "", name)
+        ns = field($0, "ns_op") + 0
+        al = field($0, "allocs_op") + 0
+        if (FNR == NR) { base_ns[name] = ns; base_al[name] = al; next }
+        if (name !~ hot || !(name in base_ns)) next
+        if (ns > 1.2 * base_ns[name]) {
+            printf "bench: REGRESSION %s ns/op %g -> %g (>20%%)\n", name, base_ns[name], ns
+            bad = 1
+        }
+        if (al > 1.2 * base_al[name] && al > base_al[name] + 2) {
+            printf "bench: REGRESSION %s allocs/op %g -> %g (>20%%)\n", name, base_al[name], al
+            bad = 1
+        }
+        printf "bench: %-28s ns/op %12g -> %12g (%.2fx)  allocs %8g -> %8g\n", \
+            name, base_ns[name], ns, (ns > 0 ? base_ns[name] / ns : 0), base_al[name], al
+    }
+    END { exit bad }
+    ' "$baseline" "$out" || { echo "bench: hot-path perf gate FAILED vs $baseline" >&2; exit 1; }
+    echo "bench: hot-path perf gate ok vs $baseline"
+fi

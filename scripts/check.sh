@@ -1,18 +1,27 @@
 #!/bin/sh
 # CI gate: vet, build, full test suite, a race pass over the
 # concurrency-heavy packages, a chaos smoke over the resilience layer,
-# and an errcheck-style grep gate. Mirrors `make check`.
+# a hot-path perf gate against the committed benchmark baseline, and an
+# errcheck-style grep gate. Mirrors `make check`.
 set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/jobs ./internal/server ./internal/experiment \
-    ./internal/resilience ./internal/agents ./internal/telemetry
+    ./internal/resilience ./internal/agents ./internal/telemetry \
+    ./internal/mna ./internal/measure ./internal/sizing
 
 # Chaos smoke: the seeded fault injector, retry, and breaker tests must
 # be deterministic — -count=2 re-runs them to catch order dependence.
 go test ./internal/resilience/... -race -count=2
+
+# Perf gate: re-run the seed benchmarks and fail on a >20% ns/op or
+# allocs/op regression in the MNA/measure hot path vs the committed
+# baseline (see scripts/bench.sh for the gated benchmark list).
+benchtmp="$(mktemp)"
+trap 'rm -f "$benchtmp"' EXIT
+scripts/bench.sh "$benchtmp" BENCH_pr4.json
 
 # Errcheck-style gate: no silently dropped trailing returns (almost
 # always an ignored error) in the agent loop or the server.
