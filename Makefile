@@ -29,4 +29,4 @@ check: vet build test race chaos
 # bench records (name, ns/op, allocs/op) as JSON for cross-PR comparison
 # and fails on a >20% hot-path regression vs the previous PR's baseline.
 bench:
-	scripts/bench.sh BENCH_pr4.json BENCH_pr3.json
+	scripts/bench.sh BENCH_pr5.json BENCH_pr4.json

@@ -12,7 +12,12 @@
 //	GET    /groups         the Table 2 spec groups
 //	GET    /architectures  the knowledge base's architecture cards
 //	POST   /design         {"group":"G-1"} or {"prompt":"gain >85dB, …"} (waits)
+//	POST   /design/batch   {"items":[{"group":"G-1"},…]} → NDJSON stream, one
+//	                       line per item in completion order + a summary line;
+//	                       duplicate items coalesce to one run (-max-batch caps
+//	                       the item count)
 //	POST   /simulate       {"netlist":"V1 in 0 1\n…"}
+//	POST   /simulate/batch {"items":[{"netlist":…},…]} → NDJSON, same contract
 //	POST   /jobs           enqueue a design asynchronously → 202 + id
 //	GET    /jobs           list jobs with status counts
 //	GET    /jobs/{id}      poll one job (result embedded when done)
@@ -49,6 +54,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "design worker pool size (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 64, "pending job queue bound")
 		cacheSize = flag.Int("cache", 128, "design result cache entries")
+		maxBatch  = flag.Int("max-batch", 64, "max items per /design/batch or /simulate/batch request")
 		jobTime   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
 		drainTime = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 		retryMax  = flag.Int("retry-max", 3, "retry attempts per designer/simulator call")
@@ -69,6 +75,7 @@ func main() {
 	}
 	svc := server.NewWithOptions(server.Options{
 		Workers: *workers, Queue: *queue, CacheSize: *cacheSize, JobTimeout: *jobTime,
+		MaxBatch: *maxBatch,
 		RetryMax: *retryMax, BreakerThreshold: *breakThr,
 		ToolTimeout: *toolTime, FaultRate: *faultRate,
 		AccessLog: logger,

@@ -72,23 +72,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "evaltable:", err)
 		os.Exit(1)
 	}
-	fmt.Print(t3)
-	fmt.Println()
-	if *phases {
-		fmt.Print(t3.PhaseBreakdown())
-		fmt.Println()
+	fmt.Print(renderReport(t3, *phases, cfg.Groups))
+}
+
+// renderReport builds the full evaltable report: the rendered Table 3,
+// the optional measured phase breakdown, and the per-group speedup
+// summary. Factored from main so the golden regression test covers the
+// exact bytes the command prints.
+func renderReport(t3 *experiment.Table3, phases bool, groups []string) string {
+	var b strings.Builder
+	b.WriteString(t3.String())
+	b.WriteString("\n")
+	if phases {
+		b.WriteString(t3.PhaseBreakdown())
+		b.WriteString("\n")
 	}
-	gs := cfg.Groups
-	if len(gs) == 0 {
-		gs = []string{"G-1", "G-2", "G-3", "G-4", "G-5"}
+	if len(groups) == 0 {
+		groups = []string{"G-1", "G-2", "G-3", "G-4", "G-5"}
 	}
-	for _, g := range gs {
+	for _, g := range groups {
 		bo := t3.Speedup(experiment.MethodBOBO, g)
 		rl := t3.Speedup(experiment.MethodRLBO, g)
 		if bo > 0 || rl > 0 {
-			fmt.Printf("%s: Artisan speedup %.1f× vs BOBO, %.1f× vs RLBO\n", g, bo, rl)
+			fmt.Fprintf(&b, "%s: Artisan speedup %.1f× vs BOBO, %.1f× vs RLBO\n", g, bo, rl)
 		}
 	}
+	return b.String()
 }
 
 // printFig7 reproduces the chat-log comparison of Fig. 7: Artisan's full

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -159,10 +160,25 @@ type trialTask struct {
 	seed int64
 }
 
-// runParallel fans every trial of every cell out over a jobs pool. Each
-// trial is seeded exactly as in the serial path and results are
-// reassembled in (method, group, trial) index order, so the resulting
-// Table 3 is byte-identical to a serial run with the same Config.
+// key canonicalizes a trial for the pool's coalescing map and result
+// cache. Seeded methods key on their per-trial seed, so every trial runs.
+// The off-the-shelf LLM baselines ignore the seed entirely — their
+// repeated trials share one key and coalesce to a single run whose
+// result every trial of the cell reuses.
+func (t trialTask) key(cfg Config) string {
+	if t.m == MethodGPT4 || t.m == MethodLlama2 {
+		return fmt.Sprintf("trial|%s|%s|budget=%d", t.m, t.g.Name, cfg.Budget)
+	}
+	return fmt.Sprintf("trial|%s|%s|budget=%d|seed=%d", t.m, t.g.Name, cfg.Budget, t.seed)
+}
+
+// runParallel fans every trial of every cell out over a jobs manager via
+// SubmitBatch — the same coalescing batch primitive behind the server's
+// batch endpoints — so duplicate trials (the seed-blind LLM baselines)
+// run once per cell. Each trial is seeded exactly as in the serial path
+// and results are reassembled in (method, group, trial) index order, so
+// the resulting Table 3 is byte-identical to a serial run with the same
+// Config.
 func runParallel(ctx context.Context, cfg Config, groups []spec.Spec) (*Table3, error) {
 	var tasks []trialTask
 	for _, m := range cfg.Methods {
@@ -172,16 +188,73 @@ func runParallel(ctx context.Context, cfg Config, groups []spec.Spec) (*Table3, 
 			}
 		}
 	}
-	results, err := jobs.Map(ctx, cfg.Workers, tasks,
-		func(ctx context.Context, t trialTask) (trialResult, error) {
-			tr, err := runTrial(ctx, t.m, t.g, cfg, t.seed)
-			if err != nil {
-				return trialResult{}, fmt.Errorf("experiment: %s on %s: %w", t.m, t.g.Name, err)
-			}
-			return tr, nil
-		})
-	if err != nil {
-		return nil, err
+
+	mgr := jobs.NewManager(jobs.Config{
+		Workers: cfg.Workers, Queue: len(tasks), CacheSize: len(tasks),
+	})
+	defer func() {
+		drain, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(drain)
+	}()
+
+	// sweepCtx merges the caller's context with first-error abort: any
+	// failing trial cancels the rest of the sweep, matching the serial
+	// harness's stop-at-first-error behavior.
+	sweepCtx, cancelSweep := context.WithCancel(ctx)
+	defer cancelSweep()
+
+	items := make([]jobs.BatchItem, len(tasks))
+	for i, task := range tasks {
+		task := task
+		items[i] = jobs.BatchItem{
+			Fn: func(jctx context.Context) (any, error) {
+				// The pool runs jobs under its own context; bridge the
+				// sweep context in so caller cancellation (and first-error
+				// abort) stops running trials too.
+				runCtx, cancel := context.WithCancel(jctx)
+				defer cancel()
+				stop := context.AfterFunc(sweepCtx, cancel)
+				defer stop()
+				if err := sweepCtx.Err(); err != nil {
+					return nil, err
+				}
+				tr, err := runTrial(runCtx, task.m, task.g, cfg, task.seed)
+				if err != nil {
+					if cerr := sweepCtx.Err(); cerr != nil {
+						return nil, cerr
+					}
+					cancelSweep()
+					return nil, fmt.Errorf("experiment: %s on %s: %w", task.m, task.g.Name, err)
+				}
+				return tr, nil
+			},
+			Opts: jobs.SubmitOpts{Key: task.key(cfg)},
+		}
+	}
+
+	raw, errs := jobs.WaitBatch(sweepCtx, mgr.SubmitBatch(items))
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// Prefer the root-cause trial error over the context.Canceled
+		// noise the first-error abort induces in its neighbours.
+		if !errors.Is(err, context.Canceled) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	results := make([]trialResult, len(raw))
+	for i, v := range raw {
+		results[i] = v.(trialResult)
 	}
 	t3 := &Table3{Cfg: cfg}
 	for ci := 0; ci*cfg.Trials < len(results); ci++ {

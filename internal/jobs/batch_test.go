@@ -1,0 +1,219 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m := NewManager(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := m.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return m
+}
+
+// A batch of duplicated keys runs each unique key's fn exactly once;
+// every duplicate either coalesces onto the in-flight run or hits the
+// result cache, and all of them observe the same result.
+func TestSubmitBatchCoalescesDuplicates(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 4, Queue: 256, CacheSize: 64})
+	var runs atomic.Int64
+	mk := func(key string) BatchItem {
+		return BatchItem{
+			Fn: func(ctx context.Context) (any, error) {
+				runs.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return key, nil
+			},
+			Opts: SubmitOpts{Key: key},
+		}
+	}
+	var items []BatchItem
+	for i := 0; i < 24; i++ {
+		items = append(items, mk(fmt.Sprintf("k-%d", i%3)))
+	}
+	entries := m.SubmitBatch(items)
+	results, errs := WaitBatch(context.Background(), entries)
+	for i := range entries {
+		if errs[i] != nil {
+			t.Fatalf("item %d: %v", i, errs[i])
+		}
+		if want := fmt.Sprintf("k-%d", i%3); results[i] != want {
+			t.Fatalf("item %d: result %v, want %v", i, results[i], want)
+		}
+	}
+	if got := runs.Load(); got != 3 {
+		t.Errorf("fn ran %d times, want once per unique key (3)", got)
+	}
+	dedup := m.CoalesceHits() + m.CacheStats().Hits
+	if dedup != int64(len(items))-3 {
+		t.Errorf("coalesce(%d)+cache(%d) = %d deduped, want %d",
+			m.CoalesceHits(), m.CacheStats().Hits, dedup, len(items)-3)
+	}
+}
+
+// The property test of the coalescing layer: K unique specs duplicated
+// across M concurrent submitters perform exactly one underlying run per
+// unique key, under -race.
+func TestConcurrentBatchesRunOncePerKey(t *testing.T) {
+	const (
+		uniqueKeys = 8
+		submitters = 16
+	)
+	m := newTestManager(t, Config{Workers: 4, Queue: 4096, CacheSize: 64})
+	var runs [uniqueKeys]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			order := rng.Perm(uniqueKeys)
+			items := make([]BatchItem, uniqueKeys)
+			for i, k := range order {
+				k := k
+				items[i] = BatchItem{
+					Fn: func(ctx context.Context) (any, error) {
+						runs[k].Add(1)
+						time.Sleep(3 * time.Millisecond)
+						return k, nil
+					},
+					Opts: SubmitOpts{Key: fmt.Sprintf("spec-%d", k)},
+				}
+			}
+			entries := m.SubmitBatch(items)
+			results, errs := WaitBatch(context.Background(), entries)
+			for i := range entries {
+				if errs[i] != nil {
+					t.Errorf("submitter %d item %d: %v", g, i, errs[i])
+					return
+				}
+				if results[i] != order[i] {
+					t.Errorf("submitter %d item %d: result %v, want %d", g, i, results[i], order[i])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := range runs {
+		if got := runs[k].Load(); got != 1 {
+			t.Errorf("key %d ran %d times, want exactly 1", k, got)
+		}
+	}
+	dedup := m.CoalesceHits() + m.CacheStats().Hits
+	if want := int64(uniqueKeys*submitters - uniqueKeys); dedup != want {
+		t.Errorf("deduped %d submissions, want %d", dedup, want)
+	}
+}
+
+// A full queue rejects per item; the rest of the batch still runs.
+func TestSubmitBatchQueueFullIsPerItem(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, Queue: 1, CacheSize: 4})
+	release := make(chan struct{})
+	blocker, err := m.Submit(func(ctx context.Context) (any, error) {
+		<-release
+		return nil, nil
+	}, SubmitOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blocker.Status() != StatusRunning {
+		time.Sleep(time.Millisecond)
+	}
+	// Worker is busy; queue holds one. Three distinct items: one queues,
+	// the rest are rejected individually.
+	var items []BatchItem
+	for i := 0; i < 3; i++ {
+		i := i
+		items = append(items, BatchItem{
+			Fn:   func(ctx context.Context) (any, error) { return i, nil },
+			Opts: SubmitOpts{Key: fmt.Sprintf("q-%d", i)},
+		})
+	}
+	entries := m.SubmitBatch(items)
+	close(release)
+	if _, err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	accepted, rejected := 0, 0
+	for i, e := range entries {
+		switch {
+		case e.Err == nil:
+			accepted++
+			if _, err := e.Job.Wait(context.Background()); err != nil {
+				t.Errorf("accepted item %d failed: %v", i, err)
+			}
+		case errors.Is(e.Err, ErrQueueFull):
+			rejected++
+		default:
+			t.Errorf("item %d: unexpected error %v", i, e.Err)
+		}
+	}
+	if accepted != 1 || rejected != 2 {
+		t.Errorf("accepted %d rejected %d, want 1 and 2", accepted, rejected)
+	}
+}
+
+// A failed leader is dropped from the coalescing map, so a later
+// same-key submission retries instead of inheriting the stale failure.
+func TestCoalesceClearsFailedLeader(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, Queue: 8, CacheSize: 4})
+	boom := errors.New("boom")
+	fail := BatchItem{
+		Fn:   func(ctx context.Context) (any, error) { return nil, boom },
+		Opts: SubmitOpts{Key: "flaky"},
+	}
+	entries := m.SubmitBatch([]BatchItem{fail})
+	if _, err := entries[0].Job.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("leader err = %v, want boom", err)
+	}
+	ok := BatchItem{
+		Fn:   func(ctx context.Context) (any, error) { return "fine", nil },
+		Opts: SubmitOpts{Key: "flaky"},
+	}
+	entries = m.SubmitBatch([]BatchItem{ok})
+	if entries[0].Coalesced {
+		t.Error("retry coalesced onto the failed leader")
+	}
+	if v, err := entries[0].Job.Wait(context.Background()); err != nil || v != "fine" {
+		t.Fatalf("retry: %v, %v", v, err)
+	}
+}
+
+// Waiters detach on their own context without cancelling the shared job:
+// the slow waiter's cancellation must not fail the fast one.
+func TestCoalescedWaiterCancelDoesNotCancelJob(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, Queue: 8, CacheSize: 4})
+	release := make(chan struct{})
+	items := []BatchItem{
+		{Fn: func(ctx context.Context) (any, error) { <-release; return 42, nil },
+			Opts: SubmitOpts{Key: "shared"}},
+		{Fn: func(ctx context.Context) (any, error) { return nil, errors.New("must not run") },
+			Opts: SubmitOpts{Key: "shared"}},
+	}
+	entries := m.SubmitBatch(items)
+	if !entries[1].Coalesced {
+		t.Fatal("second item did not coalesce")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := entries[1].Job.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v", err)
+	}
+	close(release)
+	if v, err := entries[0].Job.Wait(context.Background()); err != nil || v != 42 {
+		t.Fatalf("leader: %v, %v", v, err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -198,11 +199,21 @@ type Manager struct {
 	queue      chan *Job
 	wg         sync.WaitGroup
 
+	// coalesceHits counts submissions that attached to an identical
+	// in-flight job instead of enqueueing their own run.
+	coalesceHits atomic.Int64
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string // submission order, for List and pruning
 	seq    int64
 	closed bool
+	// inflight is the singleflight map behind request coalescing: for
+	// each cache key with Coalesce set, the one non-terminal job that is
+	// computing it. Later coalescing submissions with the same key share
+	// that job; the entry is dropped when the job reaches a terminal
+	// state (so a retry after failure starts a fresh run).
+	inflight map[string]*Job
 }
 
 // NewManager starts the worker pool.
@@ -216,6 +227,7 @@ func NewManager(cfg Config) *Manager {
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.Queue),
 		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
 	}
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -237,15 +249,57 @@ type SubmitOpts struct {
 	// submitted it, so a queued job can be matched to its access-log
 	// line.
 	RequestID string
+	// Coalesce, with a non-empty Key, deduplicates in-flight work
+	// singleflight-style: when another coalescing job with the same key
+	// is queued or running, the submission attaches to it instead of
+	// enqueueing a second run and the shared *Job is returned. Combined
+	// with the result cache this makes identical work run at most once,
+	// whether the duplicates arrive before, during, or after the first.
+	Coalesce bool
 }
 
 // Submit enqueues fn. It never blocks: when the pending queue is full it
 // returns ErrQueueFull so the caller can shed load.
 func (m *Manager) Submit(fn Func, opts SubmitOpts) (*Job, error) {
+	j, _, err := m.SubmitCoalesced(fn, opts)
+	return j, err
+}
+
+// SubmitCoalesced is Submit plus a report of whether the returned job is
+// a shared in-flight job another submission already started (only
+// possible with opts.Coalesce). Cancelling a shared job cancels it for
+// every waiter attached to it.
+func (m *Manager) SubmitCoalesced(fn Func, opts SubmitOpts) (*Job, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return nil, ErrShutdown
+		return nil, false, ErrShutdown
+	}
+	if opts.Key != "" {
+		if v, ok := m.cache.Get(opts.Key); ok {
+			m.seq++
+			j := &Job{
+				id:        fmt.Sprintf("j-%d", m.seq),
+				fn:        fn,
+				key:       opts.Key,
+				requestID: opts.RequestID,
+				status:    StatusDone,
+				cached:    true,
+				result:    v,
+				created:   time.Now(),
+				done:      make(chan struct{}),
+			}
+			j.started, j.finished = j.created, j.created
+			close(j.done)
+			m.register(j)
+			return j, false, nil
+		}
+		if opts.Coalesce {
+			if leader, ok := m.inflight[opts.Key]; ok {
+				m.coalesceHits.Add(1)
+				return leader, true, nil
+			}
+		}
 	}
 	m.seq++
 	j := &Job{
@@ -257,25 +311,35 @@ func (m *Manager) Submit(fn Func, opts SubmitOpts) (*Job, error) {
 		created:   time.Now(),
 		done:      make(chan struct{}),
 	}
-	if opts.Key != "" {
-		if v, ok := m.cache.Get(opts.Key); ok {
-			j.cached = true
-			j.status = StatusDone
-			j.result = v
-			j.started, j.finished = j.created, j.created
-			close(j.done)
-			m.register(j)
-			return j, nil
-		}
-	}
 	select {
 	case m.queue <- j:
 		m.register(j)
-		return j, nil
+		if opts.Coalesce && opts.Key != "" {
+			m.inflight[opts.Key] = j
+		}
+		return j, false, nil
 	default:
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
 }
+
+// unflight drops a terminal job from the coalescing map. The identity
+// check makes the call safe for jobs that never entered the map: a
+// non-coalescing job with the same key must not evict the live leader.
+func (m *Manager) unflight(j *Job) {
+	if j.key == "" {
+		return
+	}
+	m.mu.Lock()
+	if m.inflight[j.key] == j {
+		delete(m.inflight, j.key)
+	}
+	m.mu.Unlock()
+}
+
+// CoalesceHits reports how many submissions attached to an identical
+// in-flight job instead of running their own copy of the work.
+func (m *Manager) CoalesceHits() int64 { return m.coalesceHits.Load() }
 
 // register must run with m.mu held.
 func (m *Manager) register(j *Job) {
@@ -359,6 +423,7 @@ func (m *Manager) Cancel(id string) error {
 		j.finished = time.Now()
 		close(j.done)
 		j.mu.Unlock()
+		m.unflight(j)
 		return nil
 	}
 }
@@ -427,6 +492,10 @@ func (m *Manager) run(j *Job) {
 	default:
 		j.finish(StatusFailed, nil, err)
 	}
+	// Drop the coalescing-map entry only after the terminal state (and,
+	// on success, the cache entry) is visible: a same-key submission
+	// observing the gap lands on the cache, not on a second run.
+	m.unflight(j)
 }
 
 // invoke calls fn, converting a panic into an error so one bad job

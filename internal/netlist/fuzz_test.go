@@ -3,6 +3,7 @@ package netlist
 import (
 	"strings"
 	"testing"
+	"unicode"
 )
 
 // FuzzParse: the parser must never panic, and anything it accepts must
@@ -41,7 +42,7 @@ func FuzzDeviceLineRoundTrip(f *testing.F) {
 		if v <= 0 || v > 1e15 || v < 1e-15 {
 			return
 		}
-		if a == "" || b == "" || a == b || strings.ContainsAny(a+b, " \t\n*.") {
+		if a == "" || b == "" || a == b || !validNode(a) || !validNode(b) {
 			return
 		}
 		nl := New("fuzz")
@@ -49,6 +50,15 @@ func FuzzDeviceLineRoundTrip(f *testing.F) {
 		if _, err := Parse(nl.String()); err != nil {
 			t.Fatalf("generated line unparseable: %v\n%s", err, nl)
 		}
+	})
+}
+
+// validNode reports whether s can appear as a node name in a rendered
+// line: any whitespace rune (not just ASCII space — the fuzzer found
+// "\r") or unprintable byte splits or corrupts the line on reparse.
+func validNode(s string) bool {
+	return !strings.ContainsFunc(s, func(r rune) bool {
+		return unicode.IsSpace(r) || !unicode.IsPrint(r) || r == '*' || r == '.'
 	})
 }
 

@@ -59,6 +59,22 @@ func (s *Server) initTelemetry(o Options) {
 	s.reg.GaugeFunc("artisan_jobs_cache_size",
 		"Entries currently in the design-result cache.",
 		func() float64 { return float64(s.jobs.CacheStats().Size) })
+	s.reg.CounterFunc("artisan_jobs_coalesce_hits_total",
+		"Submissions that attached to an identical in-flight job instead of re-running it.",
+		func() float64 { return float64(s.jobs.CoalesceHits()) })
+
+	// Batch serving: the size distribution of batch requests, per-item
+	// latency measured from batch submit to item completion, and item
+	// outcomes by endpoint.
+	s.batchSize = s.reg.Histogram("artisan_batch_size",
+		"Items per batch request.",
+		telemetry.ExpBuckets(1, 2, 10))
+	s.batchItemSeconds = s.reg.HistogramVec("artisan_batch_item_seconds",
+		"Latency from batch submit to per-item completion in seconds.",
+		designDurationBuckets, "endpoint")
+	s.batchItems = s.reg.CounterVec("artisan_batch_items_total",
+		"Batch items served, by endpoint and outcome (ok|error).",
+		"endpoint", "outcome")
 
 	// Resilience: one labeled family over the service-wide counter
 	// snapshot, one event per label value.

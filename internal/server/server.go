@@ -71,6 +71,9 @@ type Options struct {
 	// TraceCapacity bounds the ring buffer of recent design traces served
 	// by GET /traces; default 64.
 	TraceCapacity int
+	// MaxBatch bounds the item count of one POST /design/batch or
+	// POST /simulate/batch request (oversized batches get 413); default 64.
+	MaxBatch int
 }
 
 // Server holds the service configuration.
@@ -96,6 +99,13 @@ type Server struct {
 	accessLog     *slog.Logger
 	designs       *telemetry.CounterVec
 	designSeconds *telemetry.Histogram
+
+	// Batch-serving instruments: items per batch request, per-item
+	// latency from batch submit to completion, and per-item outcomes.
+	// See batch.go for the endpoints they observe.
+	batchSize        *telemetry.Histogram
+	batchItemSeconds *telemetry.HistogramVec
+	batchItems       *telemetry.CounterVec
 }
 
 // New builds the service with default options.
@@ -114,6 +124,9 @@ func NewWithOptions(o Options) *Server {
 	}
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.MaxBatch < 1 {
+		o.MaxBatch = 64
 	}
 	counters := &resilience.Counters{}
 	s := &Server{
@@ -138,7 +151,9 @@ func NewWithOptions(o Options) *Server {
 	s.handle("GET /groups", http.HandlerFunc(s.handleGroups))
 	s.handle("GET /architectures", http.HandlerFunc(s.handleArchitectures))
 	s.handle("POST /design", http.HandlerFunc(s.handleDesign))
+	s.handle("POST /design/batch", http.HandlerFunc(s.handleDesignBatch))
 	s.handle("POST /simulate", http.HandlerFunc(s.handleSimulate))
+	s.handle("POST /simulate/batch", http.HandlerFunc(s.handleSimulateBatch))
 	s.handle("POST /jobs", http.HandlerFunc(s.handleJobSubmit))
 	s.handle("GET /jobs", http.HandlerFunc(s.handleJobList))
 	s.handle("GET /jobs/{id}", http.HandlerFunc(s.handleJobGet))
@@ -190,12 +205,13 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"jobs":       s.jobs.Counts(),
-		"queueDepth": s.jobs.QueueDepth(),
-		"cache":      s.jobs.CacheStats(),
-		"breaker":    s.breaker.State().String(),
-		"resilience": s.counters.Snapshot(),
+		"status":       "ok",
+		"jobs":         s.jobs.Counts(),
+		"queueDepth":   s.jobs.QueueDepth(),
+		"cache":        s.jobs.CacheStats(),
+		"coalesceHits": s.jobs.CoalesceHits(),
+		"breaker":      s.breaker.State().String(),
+		"resilience":   s.counters.Snapshot(),
 	})
 }
 
@@ -204,16 +220,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // fault-tolerance layer.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"resilience": s.counters.Snapshot(),
-		"breaker":    s.breaker.State().String(),
-		"jobs":       s.jobs.Counts(),
-		"queueDepth": s.jobs.QueueDepth(),
-		"cache":      s.jobs.CacheStats(),
+		"resilience":   s.counters.Snapshot(),
+		"breaker":      s.breaker.State().String(),
+		"jobs":         s.jobs.Counts(),
+		"queueDepth":   s.jobs.QueueDepth(),
+		"cache":        s.jobs.CacheStats(),
+		"coalesceHits": s.jobs.CoalesceHits(),
 		"config": map[string]any{
 			"retryMax":         s.opts.RetryMax,
 			"breakerThreshold": s.opts.BreakerThreshold,
 			"toolTimeout":      s.opts.ToolTimeout.String(),
 			"faultRate":        s.opts.FaultRate,
+			"maxBatch":         s.opts.MaxBatch,
 		},
 	})
 }
@@ -255,15 +273,20 @@ func (s *Server) handleArchitectures(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// DesignRequest is the POST /design and POST /jobs body.
+// DesignRequest is the POST /design and POST /jobs body (and one item
+// of a POST /design/batch).
 type DesignRequest struct {
-	Group       string  `json:"group,omitempty"`
-	Prompt      string  `json:"prompt,omitempty"`
-	Seed        int64   `json:"seed,omitempty"`
-	Temperature float64 `json:"temperature,omitempty"`
-	TreeWidth   int     `json:"treeWidth,omitempty"`
-	Tune        bool    `json:"tune,omitempty"`
-	Transcript  bool    `json:"transcript,omitempty"`
+	Group  string `json:"group,omitempty"`
+	Prompt string `json:"prompt,omitempty"`
+	// Spec is a full custom specification in the GET /groups wire form,
+	// strictly decoded and range-validated by spec.ParseJSON. It takes
+	// precedence over Group and Prompt.
+	Spec        json.RawMessage `json:"spec,omitempty"`
+	Seed        int64           `json:"seed,omitempty"`
+	Temperature float64         `json:"temperature,omitempty"`
+	TreeWidth   int             `json:"treeWidth,omitempty"`
+	Tune        bool            `json:"tune,omitempty"`
+	Transcript  bool            `json:"transcript,omitempty"`
 }
 
 // DesignResponse is the POST /design reply (and the result payload of a
@@ -316,12 +339,14 @@ func (s *Server) parseDesignRequest(req *DesignRequest) (spec.Spec, error) {
 	var sp spec.Spec
 	var err error
 	switch {
+	case len(req.Spec) > 0:
+		sp, err = spec.ParseJSON(req.Spec)
 	case req.Group != "":
 		sp, err = spec.Group(req.Group)
 	case req.Prompt != "":
 		sp, err = core.ParsePrompt(req.Prompt)
 	default:
-		err = fmt.Errorf("provide group or prompt")
+		err = fmt.Errorf("provide spec, group, or prompt")
 	}
 	if err != nil {
 		return sp, err

@@ -1,0 +1,46 @@
+package spec
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSpecJSON: the request decoder must never panic, anything it
+// accepts must pass Validate, and accepted specs must survive a
+// Marshal → ParseJSON round trip unchanged (Go emits the shortest float
+// representation that round-trips, so exact equality is required).
+func FuzzSpecJSON(f *testing.F) {
+	for _, g := range Groups() {
+		data, err := json.Marshal(g)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"minGainDB":85,"minGBWHz":7e5,"minPMDeg":55,"maxPowerW":2.5e-4,"clF":1e-11}`))
+	f.Add([]byte(`{"name":"x","minGainDB":1e308,"minGBWHz":1,"minPMDeg":0,"maxPowerW":1,"clF":1e-12}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"minGainDB":`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted spec fails validation: %v\ninput: %s", err, data)
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec fails to marshal: %v", err)
+		}
+		back, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("marshalled spec fails reparse: %v\n%s", err, out)
+		}
+		if back != s {
+			t.Fatalf("round trip changed spec:\n got %+v\nwant %+v", back, s)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// wireSpec is the JSON wire form of a Spec. Field names mirror the
+// server's GET /groups payload so a group fetched from the service can
+// be posted straight back as a custom spec.
+type wireSpec struct {
+	Name      string  `json:"name,omitempty"`
+	MinGainDB float64 `json:"minGainDB"`
+	MinGBWHz  float64 `json:"minGBWHz"`
+	MinPMDeg  float64 `json:"minPMDeg"`
+	MaxPowerW float64 `json:"maxPowerW"`
+	CLF       float64 `json:"clF"`
+	RLOhm     float64 `json:"rlOhm,omitempty"`
+	VDDV      float64 `json:"vddV,omitempty"`
+}
+
+// Physical plausibility bounds enforced by Validate. They are generous
+// relative to the paper's Table 2 but reject the nonsense a hostile or
+// fuzzed request can carry (negative powers, terahertz GBW, NaN).
+const (
+	maxGainDB = 200   // dB
+	maxGBWHz  = 1e12  // Hz
+	maxPMDeg  = 120   // degrees
+	maxPowerW = 10    // W
+	maxCLF    = 1e-3  // F
+	maxRLOhm  = 1e12  // Ω
+	maxVDDV   = 100   // V
+	minRLOhm  = 1     // Ω: a dead short is not a load
+	minVDDV   = 0.1   // V: below any transistor threshold
+	minGBWHz  = 1e-3  // Hz
+	minPowerW = 1e-12 // W
+	minCLF    = 1e-18 // F
+)
+
+// ParseJSON decodes and validates a Spec from its JSON wire form. The
+// decode is strict — unknown fields and trailing data are rejected — and
+// the result is range-checked with Validate, so anything ParseJSON
+// accepts is safe to hand to the design and simulation pipeline. Zero
+// RL/VDD take the paper's operating conditions (1 MΩ, 1.8 V); an empty
+// name becomes "custom".
+func ParseJSON(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w wireSpec
+	if err := dec.Decode(&w); err != nil {
+		return Spec{}, fmt.Errorf("spec: bad JSON: %w", err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("spec: trailing data after JSON value")
+	}
+	s := Spec{
+		Name: w.Name, MinGainDB: w.MinGainDB, MinGBW: w.MinGBWHz,
+		MinPM: w.MinPMDeg, MaxPower: w.MaxPowerW, CL: w.CLF,
+		RL: w.RLOhm, VDD: w.VDDV,
+	}
+	if s.Name == "" {
+		s.Name = "custom"
+	}
+	if s.RL == 0 {
+		s.RL = 1e6
+	}
+	if s.VDD == 0 {
+		s.VDD = 1.8
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// MarshalJSON renders the wire form ParseJSON accepts, making
+// Spec → JSON → Spec a lossless round trip.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireSpec{
+		Name: s.Name, MinGainDB: s.MinGainDB, MinGBWHz: s.MinGBW,
+		MinPMDeg: s.MinPM, MaxPowerW: s.MaxPower, CLF: s.CL,
+		RLOhm: s.RL, VDDV: s.VDD,
+	})
+}
+
+// Validate range-checks every field of a spec. It rejects non-finite
+// values and anything outside the physically plausible envelope, so
+// request handlers can trust a validated spec end to end.
+func (s Spec) Validate() error {
+	checks := []struct {
+		name     string
+		v        float64
+		min, max float64
+	}{
+		{"minGainDB", s.MinGainDB, 0, maxGainDB},
+		{"minGBWHz", s.MinGBW, minGBWHz, maxGBWHz},
+		{"minPMDeg", s.MinPM, 0, maxPMDeg},
+		{"maxPowerW", s.MaxPower, minPowerW, maxPowerW},
+		{"clF", s.CL, minCLF, maxCLF},
+		{"rlOhm", s.RL, minRLOhm, maxRLOhm},
+		{"vddV", s.VDD, minVDDV, maxVDDV},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("spec: %s is not finite", c.name)
+		}
+		if c.v < c.min || c.v > c.max {
+			return fmt.Errorf("spec: %s %g out of [%g, %g]", c.name, c.v, c.min, c.max)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseJSONRoundTripsGroups(t *testing.T) {
+	for _, g := range Groups() {
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", g.Name, err)
+		}
+		back, err := ParseJSON(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", g.Name, err, data)
+		}
+		if back != g {
+			t.Errorf("%s: round trip changed spec:\n got %+v\nwant %+v", g.Name, back, g)
+		}
+	}
+}
+
+func TestParseJSONDefaults(t *testing.T) {
+	s, err := ParseJSON([]byte(`{"minGainDB":85,"minGBWHz":7e5,"minPMDeg":55,"maxPowerW":2.5e-4,"clF":1e-11}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "custom" || s.RL != 1e6 || s.VDD != 1.8 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+}
+
+func TestParseJSONRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"minGainDB":85,"minGBWHz":7e5,"minPMDeg":55,"maxPowerW":2.5e-4,"clF":1e-11,"bogus":1}`,
+		"trailing data":  `{"minGainDB":85,"minGBWHz":7e5,"minPMDeg":55,"maxPowerW":2.5e-4,"clF":1e-11} {}`,
+		"negative gain":  `{"minGainDB":-5,"minGBWHz":7e5,"minPMDeg":55,"maxPowerW":2.5e-4,"clF":1e-11}`,
+		"zero power":     `{"minGainDB":85,"minGBWHz":7e5,"minPMDeg":55,"maxPowerW":0,"clF":1e-11}`,
+		"absurd GBW":     `{"minGainDB":85,"minGBWHz":1e15,"minPMDeg":55,"maxPowerW":2.5e-4,"clF":1e-11}`,
+		"negative CL":    `{"minGainDB":85,"minGBWHz":7e5,"minPMDeg":55,"maxPowerW":2.5e-4,"clF":-1e-11}`,
+		"not an object":  `"G-1"`,
+		"empty":          ``,
+		"malformed":      `{`,
+		"string numbers": `{"minGainDB":"85","minGBWHz":7e5,"minPMDeg":55,"maxPowerW":2.5e-4,"clF":1e-11}`,
+	}
+	for name, src := range cases {
+		if _, err := ParseJSON([]byte(src)); err == nil {
+			t.Errorf("%s: accepted %s", name, src)
+		} else if !strings.HasPrefix(err.Error(), "spec: ") {
+			t.Errorf("%s: error not namespaced: %v", name, err)
+		}
+	}
+}

@@ -85,6 +85,15 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the wrapped writer so streaming responses (the
+// NDJSON batch endpoints) can push each line to the client as it is
+// produced instead of buffering the whole stream.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Middleware wraps next with the full request pipeline: X-Request-ID
 // propagation (accept the inbound header or generate one, echo it on the
 // response, carry it in the context), per-route latency and request

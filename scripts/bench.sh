@@ -34,6 +34,20 @@ awk '
 BEGIN { printf "[\n" }
 END { printf "\n]\n" }
 ' "$tmp" > "$out"
+
+# Serving-layer benchmark: replay a seeded duplicate-heavy workload
+# item-by-item through POST /design and batched through /design/batch
+# (see cmd/loadgen) and merge the throughput/latency/coalesce entries
+# into the same JSON array. Their names don't match the hot regex below,
+# so they are recorded for cross-PR comparison but never gated on ns/op.
+ltmp="$(mktemp)"
+trap 'rm -f "$tmp" "$ltmp"' EXIT
+go run ./cmd/loadgen -mode compare -n 400 -dup 0.8 -batch 64 -concurrency 8 -seed 1 -out "$ltmp"
+merged="$(mktemp)"
+sed '$d' "$out" > "$merged"   # drop the closing ]
+printf ',\n' >> "$merged"
+sed '1d' "$ltmp" >> "$merged" # drop the opening [, keep the closing ]
+mv "$merged" "$out"
 echo "bench: wrote $out"
 
 if [ -n "$baseline" ]; then

@@ -16,6 +16,18 @@ go test -race ./internal/jobs ./internal/server ./internal/experiment \
 # be deterministic — -count=2 re-runs them to catch order dependence.
 go test ./internal/resilience/... -race -count=2
 
+# Fuzz smoke: 10 s of coverage-guided input generation per target over
+# the two parsers that face raw request bytes (SPICE netlists and spec
+# JSON), seeded from the checked-in corpus under testdata/fuzz/. Crashers
+# land in testdata/fuzz/<Target>/ and fail this gate until fixed.
+for target in \
+    'FuzzParse ./internal/netlist' \
+    'FuzzDeviceLineRoundTrip ./internal/netlist' \
+    'FuzzSpecJSON ./internal/spec'; do
+    set -- $target
+    go test -run '^$' -fuzz "^$1\$" -fuzztime 10s "$2"
+done
+
 # Perf gate: re-run the seed benchmarks and fail on a >20% ns/op or
 # allocs/op regression in the MNA/measure hot path vs the committed
 # baseline (see scripts/bench.sh for the gated benchmark list).
