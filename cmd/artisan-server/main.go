@@ -63,6 +63,12 @@ func main() {
 		faultRate = flag.Float64("fault-rate", 0, "chaos mode: probability each designer/simulator call fails")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this private address (empty = off)")
 		accessLog = flag.Bool("access-log", false, "log one structured line per request to stderr")
+		nodeID    = flag.String("node-id", "", "fleet node id: prefixes job ids and is reported on /healthz for the router")
+		dataDir   = flag.String("data-dir", "", "persistent job store directory (empty = in-memory only)")
+		storeSync = flag.Bool("store-sync", false, "fsync every journal append (machine-crash durability)")
+		tenRate   = flag.Float64("tenant-rate", 0, "per-tenant admitted design items/sec (0 = admission off)")
+		tenBurst  = flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst (default 2x rate)")
+		modelLat  = flag.Duration("model-latency", 0, "modeled remote designer-LLM latency per design run (0 = off)")
 	)
 	flag.Parse()
 
@@ -73,13 +79,19 @@ func main() {
 	if *accessLog {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
-	svc := server.NewWithOptions(server.Options{
+	svc, err := server.NewServer(server.Options{
 		Workers: *workers, Queue: *queue, CacheSize: *cacheSize, JobTimeout: *jobTime,
 		MaxBatch: *maxBatch,
 		RetryMax: *retryMax, BreakerThreshold: *breakThr,
 		ToolTimeout: *toolTime, FaultRate: *faultRate,
 		AccessLog: logger,
+		NodeID:    *nodeID, DataDir: *dataDir, StoreSync: *storeSync,
+		TenantRate: *tenRate, TenantBurst: *tenBurst,
+		ModelLatency: *modelLat,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      svc,
@@ -103,6 +115,10 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal behaviour: a second ^C kills us
+		// Flip /healthz to 503 immediately: the router's next health probe
+		// pulls this node from rotation before the queue closes, so no
+		// routed request ever sees a mid-drain submit error.
+		svc.StartDraining()
 		log.Printf("shutdown: draining connections and jobs (budget %s)", *drainTime)
 	}
 

@@ -10,8 +10,16 @@
 //
 //	loadgen                        # compare mode, built-in server
 //	loadgen -mode batch -n 500 -dup 0.8 -batch 64
+//	loadgen -mode fleet -nodes 2   # 1 node vs N nodes behind the router
+//	loadgen -profile soak          # long duplicate-heavy fleet run
 //	loadgen -url http://host:8080  # drive a running server instead
 //	loadgen -out loadgen.json      # write BENCH-style JSON entries
+//
+// Fleet mode stands up -nodes in-process worker servers (each with
+// -node-workers pool goroutines and -model-latency of modeled remote
+// designer-LLM latency) behind the consistent-hashing router, replays
+// the mix through the router, and reports the speedup over one
+// identically-configured node.
 //
 // The workload is fully seeded: the same -seed, -n, -dup, and -groups
 // produce the same request sequence, so runs are comparable across PRs.
@@ -34,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"artisan/internal/cluster"
 	"artisan/internal/server"
 	"artisan/internal/spec"
 )
@@ -50,6 +59,15 @@ type config struct {
 	out         string
 	workers     int
 	repeat      int
+	// Fleet mode: nodes in-process worker servers behind a cluster.Router,
+	// each with nodeWorkers pool goroutines and modelLatency of modeled
+	// remote-LLM latency per design run (real LLM serving is latency-
+	// bound, so fleet throughput scales with total in-flight workers even
+	// on a small host). Compared against one identically-sized node.
+	nodes        int
+	nodeWorkers  int
+	modelLatency time.Duration
+	profile      string
 }
 
 // workItem is one design request of the generated mix.
@@ -68,6 +86,7 @@ type phaseResult struct {
 	UniqueItems  int     `json:"unique_items"`
 	DupRatio     float64 `json:"dup_ratio"`
 	Concurrency  int     `json:"concurrency"`
+	Nodes        int     `json:"nodes,omitempty"`
 	BatchSize    int     `json:"batch_size,omitempty"`
 	Errors       int     `json:"errors"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
@@ -79,6 +98,9 @@ type phaseResult struct {
 	CacheHits    float64 `json:"cache_hits"`
 	// SpeedupVsSingle is set on the batch entry of a compare run.
 	SpeedupVsSingle float64 `json:"speedup_vs_single,omitempty"`
+	// SpeedupVsOneNode is set on the fleet entry of a fleet run: N-node
+	// throughput over the identically-configured single node's.
+	SpeedupVsOneNode float64 `json:"speedup_vs_one_node,omitempty"`
 }
 
 func main() {
@@ -94,14 +116,35 @@ func main() {
 		out         = flag.String("out", "", "write results as a JSON array to this file")
 		workers     = flag.Int("workers", 0, "in-process server pool size (default GOMAXPROCS)")
 		repeat      = flag.Int("repeat", 3, "repetitions per phase; the best-throughput one is reported")
+		nodes       = flag.Int("nodes", 2, "fleet mode: worker nodes behind the router")
+		nodeWorkers = flag.Int("node-workers", 4, "fleet mode: worker pool size per node")
+		modelLat    = flag.Duration("model-latency", 100*time.Millisecond, "fleet mode: modeled remote designer-LLM latency per design run")
+		profile     = flag.String("profile", "", "workload preset: '' or 'soak' (long duplicate-heavy fleet run)")
 	)
 	flag.Parse()
 	cfg := config{
 		mode: *mode, n: *n, batch: *batch, dup: *dup, concurrency: *concurrency,
 		seed: *seed, url: *url, out: *out, workers: *workers, repeat: *repeat,
+		nodes: *nodes, nodeWorkers: *nodeWorkers, modelLatency: *modelLat,
+		profile: *profile,
 	}
 	if *groupsFlag != "" {
 		cfg.groups = strings.Split(*groupsFlag, ",")
+	}
+	if cfg.profile == "soak" {
+		// Soak: a long, duplicate-heavy fleet run at high client fan-in —
+		// the sustained-traffic profile behind the fleet BENCH entries.
+		cfg.mode = "fleet"
+		if cfg.n < 2000 {
+			cfg.n = 2000
+		}
+		if cfg.dup < 0.9 {
+			cfg.dup = 0.9
+		}
+		if cfg.concurrency < 32 {
+			cfg.concurrency = 32
+		}
+		cfg.repeat = 1
 	}
 	results, err := run(cfg, os.Stdout)
 	if err != nil {
@@ -222,10 +265,111 @@ func run(cfg config, w io.Writer) ([]phaseResult, error) {
 		fmt.Fprintf(w, "loadgen: batch throughput %.2fx single (%0.f vs %0.f items/s), coalesce hits %g\n",
 			batch.SpeedupVsSingle, batch.ItemsPerSec, single.ItemsPerSec, batch.CoalesceHits)
 		results = append(results, single, batch)
+	case "fleet":
+		return runFleet(cfg, items, unique, w)
 	default:
-		return nil, fmt.Errorf("unknown -mode %q (want single, batch, or compare)", cfg.mode)
+		return nil, fmt.Errorf("unknown -mode %q (want single, batch, compare, or fleet)", cfg.mode)
 	}
 	return results, nil
+}
+
+// runFleet is the multi-node compare: the same workload replayed
+// item-by-item through (a) one worker node and (b) cfg.nodes identical
+// nodes behind a cluster.Router, each node with its own pool, cache,
+// and coalescing map. Every node gets the same per-node configuration —
+// the comparison measures horizontal scaling plus router overhead, not
+// a bigger box. Design runs carry cfg.modelLatency of modeled remote-
+// LLM latency, the regime real LLM serving is bound by; duplicate
+// requests hash to one node via the router's consistent ring, so
+// fleet-wide coalesce hits stay observable on the per-node /metrics.
+func runFleet(cfg config, items []workItem, unique int, w io.Writer) ([]phaseResult, error) {
+	onePhase := func(name string, nodes int) (phaseResult, error) {
+		base, nodeURLs, shutdown, err := fleetTarget(cfg, nodes)
+		if err != nil {
+			return phaseResult{}, err
+		}
+		defer shutdown()
+		res, err := runSingle(base, items, cfg)
+		if err != nil {
+			return phaseResult{}, err
+		}
+		res.Name = name
+		res.Mode = "fleet"
+		res.Nodes = nodes
+		res.UniqueItems = unique
+		res.DupRatio = cfg.dup
+		for _, nu := range nodeURLs {
+			res.CoalesceHits += scrapeCounter(nu, "artisan_jobs_coalesce_hits_total")
+			res.CacheHits += scrapeCounter(nu, "artisan_jobs_cache_hits_total")
+		}
+		return res, nil
+	}
+	runPhase := func(name string, nodes int) (phaseResult, error) {
+		var best phaseResult
+		for rep := 0; rep < cfg.repeat; rep++ {
+			res, err := onePhase(name, nodes)
+			if err != nil {
+				return phaseResult{}, err
+			}
+			if rep == 0 || res.ItemsPerSec > best.ItemsPerSec {
+				best = res
+			}
+		}
+		fmt.Fprintln(w, best.String())
+		return best, nil
+	}
+	one, err := runPhase("LoadgenFleetNode1", 1)
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := runPhase(fmt.Sprintf("LoadgenFleet%d", cfg.nodes), cfg.nodes)
+	if err != nil {
+		return nil, err
+	}
+	if fleet.ItemsPerSec > 0 && one.ItemsPerSec > 0 {
+		fleet.SpeedupVsOneNode = fleet.ItemsPerSec / one.ItemsPerSec
+	}
+	fmt.Fprintf(w, "loadgen: %d-node fleet throughput %.2fx one node (%0.f vs %0.f items/s), fleet coalesce hits %g\n",
+		cfg.nodes, fleet.SpeedupVsOneNode, fleet.ItemsPerSec, one.ItemsPerSec, fleet.CoalesceHits)
+	return []phaseResult{one, fleet}, nil
+}
+
+// fleetTarget starts nodes identical in-process worker servers and,
+// when nodes > 1, a router in front of them. It returns the base URL to
+// drive, the per-node URLs (for /metrics scraping), and the teardown.
+func fleetTarget(cfg config, nodes int) (base string, nodeURLs []string, shutdown func(), err error) {
+	var closers []func()
+	shutdown = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		svc := server.NewWithOptions(server.Options{
+			Workers:      cfg.nodeWorkers,
+			Queue:        cfg.n + cfg.concurrency,
+			NodeID:       fmt.Sprintf("n%d", i+1),
+			ModelLatency: cfg.modelLatency,
+		})
+		ts := httptest.NewServer(svc)
+		closers = append(closers, ts.Close)
+		nodeURLs = append(nodeURLs, ts.URL)
+	}
+	if nodes == 1 {
+		return nodeURLs[0], nodeURLs, shutdown, nil
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Nodes:          nodeURLs,
+		HealthInterval: 500 * time.Millisecond,
+	})
+	if err != nil {
+		shutdown()
+		return "", nil, nil, err
+	}
+	closers = append(closers, rt.Close)
+	ts := httptest.NewServer(rt)
+	closers = append(closers, ts.Close)
+	return ts.URL, nodeURLs, shutdown, nil
 }
 
 // target returns the base URL to drive and its teardown. With no -url an

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"artisan/internal/jobs"
+)
+
+// Executor rehydrates one kind of persisted job. Run re-executes a job
+// from its journaled payload; Decode turns a journaled result back into
+// the in-memory value the result cache serves (so a replayed done job is
+// indistinguishable from a live cache entry).
+type Executor struct {
+	Run    func(ctx context.Context, payload json.RawMessage) (any, error)
+	Decode func(result json.RawMessage) (any, error)
+}
+
+// PersistentManager layers the Store onto a jobs.Manager: every
+// acknowledged submission is journaled before the caller sees the job,
+// state transitions are appended as they happen, and Replay rebuilds the
+// manager after a restart — journaled results re-warm the result cache
+// (exactly-once visibility: a duplicate request after restart is a cache
+// hit, not a re-run) and non-terminal jobs are re-executed
+// (at-least-once execution).
+type PersistentManager struct {
+	m     *jobs.Manager
+	store *Store
+
+	mu    sync.Mutex
+	execs map[string]Executor
+
+	// Replay accounting, surfaced on /stats.
+	replayedPending atomic.Int64
+	replayedResults atomic.Int64
+}
+
+// NewPersistentManager wires a store onto a manager. Register executors
+// before Replay or the first Submit of their kind.
+func NewPersistentManager(m *jobs.Manager, store *Store) *PersistentManager {
+	return &PersistentManager{m: m, store: store, execs: make(map[string]Executor)}
+}
+
+// Manager exposes the wrapped jobs.Manager (introspection, shutdown).
+func (p *PersistentManager) Manager() *jobs.Manager { return p.m }
+
+// Store exposes the backing store (compaction, tests).
+func (p *PersistentManager) Store() *Store { return p.store }
+
+// Register installs the executor for one job kind.
+func (p *PersistentManager) Register(kind string, ex Executor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.execs[kind] = ex
+}
+
+func (p *PersistentManager) executor(kind string) (Executor, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ex, ok := p.execs[kind]
+	if !ok {
+		return Executor{}, fmt.Errorf("cluster: no executor registered for job kind %q", kind)
+	}
+	return ex, nil
+}
+
+// Submit journals and enqueues one job of a registered kind. Cache hits
+// and coalesced attaches are not journaled — their result visibility is
+// already guaranteed by the journaled leader. The submit record is
+// durable before Submit returns, so an acknowledged job survives a
+// crash.
+func (p *PersistentManager) Submit(kind string, payload json.RawMessage, opts jobs.SubmitOpts) (*jobs.Job, bool, error) {
+	return p.submit(kind, payload, opts, "")
+}
+
+// submit is Submit plus the replay path: a non-empty logicalID marks a
+// re-execution of an already-journaled job (an OpResume record instead
+// of a fresh OpSubmit, keeping the journal's logical identity stable).
+func (p *PersistentManager) submit(kind string, payload json.RawMessage, opts jobs.SubmitOpts, logicalID string) (*jobs.Job, bool, error) {
+	ex, err := p.executor(kind)
+	if err != nil {
+		return nil, false, err
+	}
+	// The logical id is resolved after the manager assigns the job id on
+	// first submit; the closure reads it through this cell.
+	idCell := &atomic.Value{}
+	if logicalID != "" {
+		idCell.Store(logicalID)
+	}
+	fn := func(ctx context.Context) (any, error) {
+		if id, ok := idCell.Load().(string); ok {
+			_ = p.store.Append(Record{Op: OpStart, ID: id})
+		}
+		return ex.Run(ctx, payload)
+	}
+	j, shared, err := p.m.SubmitCoalesced(fn, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	snap := j.Snapshot()
+	if shared || snap.Cached {
+		return j, shared, nil // visibility covered by the journaled leader
+	}
+	if logicalID == "" {
+		logicalID = j.ID()
+		idCell.Store(logicalID)
+		if err := p.store.Append(Record{
+			Op: OpSubmit, ID: logicalID, Kind: kind, Key: opts.Key, Payload: payload,
+		}); err != nil {
+			// The job is already queued; without a durable submit record the
+			// caller must not treat it as persisted.
+			return nil, false, err
+		}
+	} else {
+		_ = p.store.Append(Record{Op: OpResume, ID: logicalID})
+	}
+	go p.watch(logicalID, j)
+	return j, false, nil
+}
+
+// watch journals the terminal transition of one job.
+func (p *PersistentManager) watch(logicalID string, j *jobs.Job) {
+	_, _ = j.Wait(context.Background())
+	snap := j.Snapshot()
+	rec := Record{ID: logicalID}
+	switch snap.Status {
+	case jobs.StatusDone:
+		rec.Op = OpDone
+		if blob, err := json.Marshal(snap.Result); err == nil {
+			rec.Result = blob
+		}
+	case jobs.StatusCancelled:
+		rec.Op = OpCancel
+		rec.Err = snap.Err
+	default:
+		rec.Op = OpFail
+		rec.Err = snap.Err
+	}
+	_ = p.store.Append(rec)
+}
+
+// ReplayStats summarizes one Replay pass.
+type ReplayStats struct {
+	// ResultsWarmed is how many journaled done results were reinstalled
+	// into the result cache.
+	ResultsWarmed int `json:"resultsWarmed"`
+	// Resubmitted is how many non-terminal jobs were re-executed.
+	Resubmitted int `json:"resubmitted"`
+	// Interrupted of those were mid-run when the previous process died.
+	Interrupted int `json:"interrupted"`
+}
+
+// Replay rebuilds serving state from the journal: journaled done
+// results are decoded and re-installed in the result cache under their
+// original keys, then queued and interrupted jobs are resubmitted in
+// their original order. Jobs whose key now hits the warmed cache
+// complete instantly without re-running. Call once, after Register and
+// before serving traffic.
+func (p *PersistentManager) Replay() (ReplayStats, error) {
+	var stats ReplayStats
+	for _, d := range p.store.Done() {
+		if d.Key == "" || len(d.Result) == 0 {
+			continue
+		}
+		ex, err := p.executor(d.Kind)
+		if err != nil {
+			return stats, err
+		}
+		if ex.Decode == nil {
+			continue
+		}
+		v, err := ex.Decode(d.Result)
+		if err != nil {
+			return stats, fmt.Errorf("cluster: replay decode %s: %w", d.ID, err)
+		}
+		p.m.WarmCache(d.Key, v)
+		stats.ResultsWarmed++
+	}
+	for _, pend := range p.store.Pending() {
+		if pend.Interrupted() {
+			stats.Interrupted++
+		}
+		if _, _, err := p.submit(pend.Kind, pend.Payload, jobs.SubmitOpts{
+			Key: pend.Key, Coalesce: pend.Key != "",
+		}, pend.ID); err != nil {
+			return stats, fmt.Errorf("cluster: replay resubmit %s: %w", pend.ID, err)
+		}
+		stats.Resubmitted++
+	}
+	p.replayedResults.Add(int64(stats.ResultsWarmed))
+	p.replayedPending.Add(int64(stats.Resubmitted))
+	return stats, nil
+}
+
+// ReplayCounts reports cumulative replay totals (for /stats).
+func (p *PersistentManager) ReplayCounts() (resultsWarmed, resubmitted int64) {
+	return p.replayedResults.Load(), p.replayedPending.Load()
+}

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrShed is the admission layer's load-shedding signal: the priority
+// wait queue is full and the request must be rejected now (the server
+// maps it to 429 + Retry-After).
+var ErrShed = errors.New("cluster: overloaded, request shed")
+
+// PQueue is the small priority queue in front of the worker pool. It
+// hands out a bounded number of leases (sized to the pool plus its
+// pending queue); when all leases are taken, callers wait in priority
+// order — higher priority first, FIFO within a priority — up to a
+// bounded wait-queue depth, beyond which Acquire sheds immediately with
+// ErrShed. Releasing a lease wakes the best waiter, so under overload
+// the pool drains in priority order rather than arrival order.
+type PQueue struct {
+	mu      sync.Mutex
+	leases  int
+	maxL    int
+	waitCap int
+	seq     int64
+	waiters waiterHeap
+	depth   map[string]int // per-tenant waiting count
+
+	// onDepth, when set, observes per-tenant wait-queue depth changes
+	// (the server mirrors them into a per-tenant gauge).
+	onDepth func(tenant string, depth int)
+}
+
+type pqWaiter struct {
+	pri    int
+	seq    int64
+	tenant string
+	ready  chan struct{}
+	index  int
+}
+
+// NewPQueue builds the gate: leases concurrent holders, waitCap queued
+// waiters. Values below 1 take 1.
+func NewPQueue(leases, waitCap int, onDepth func(tenant string, depth int)) *PQueue {
+	if leases < 1 {
+		leases = 1
+	}
+	if waitCap < 1 {
+		waitCap = 1
+	}
+	return &PQueue{maxL: leases, waitCap: waitCap, depth: make(map[string]int), onDepth: onDepth}
+}
+
+// Acquire obtains a lease, waiting in priority order if none is free.
+// The returned release must be called exactly once when the guarded work
+// reaches a terminal state. Acquire sheds with ErrShed when the wait
+// queue is full, and returns ctx.Err if the caller gives up first.
+func (q *PQueue) Acquire(ctx context.Context, tenant string, pri int) (release func(), err error) {
+	q.mu.Lock()
+	if q.leases < q.maxL {
+		q.leases++
+		q.mu.Unlock()
+		return q.releaseFunc(), nil
+	}
+	if q.waiters.Len() >= q.waitCap {
+		q.mu.Unlock()
+		return nil, ErrShed
+	}
+	q.seq++
+	w := &pqWaiter{pri: pri, seq: q.seq, tenant: tenant, ready: make(chan struct{})}
+	heap.Push(&q.waiters, w)
+	q.bumpDepth(tenant, +1)
+	q.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		// The releaser transferred its lease to us.
+		q.mu.Lock()
+		q.bumpDepth(tenant, -1)
+		q.mu.Unlock()
+		return q.releaseFunc(), nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		q.bumpDepth(tenant, -1)
+		if w.index >= 0 { // still queued: remove ourselves
+			heap.Remove(&q.waiters, w.index)
+			q.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		// Already popped: a lease was transferred to us concurrently with
+		// cancellation. Pass it along instead of leaking it.
+		q.mu.Unlock()
+		q.releaseFunc()()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc builds the once-only lease releaser: wake the best waiter
+// (transferring the lease) or free the slot.
+func (q *PQueue) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			q.mu.Lock()
+			if q.waiters.Len() > 0 {
+				w := heap.Pop(&q.waiters).(*pqWaiter)
+				close(w.ready) // lease moves to the waiter
+				q.mu.Unlock()
+				return
+			}
+			q.leases--
+			q.mu.Unlock()
+		})
+	}
+}
+
+// bumpDepth must run with q.mu held.
+func (q *PQueue) bumpDepth(tenant string, d int) {
+	q.depth[tenant] += d
+	n := q.depth[tenant]
+	if n <= 0 {
+		delete(q.depth, tenant)
+		n = 0
+	}
+	if q.onDepth != nil {
+		q.onDepth(tenant, n)
+	}
+}
+
+// Waiting reports the total queued-waiter count.
+func (q *PQueue) Waiting() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiters.Len()
+}
+
+// InUse reports the leases currently held.
+func (q *PQueue) InUse() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.leases
+}
+
+// waiterHeap orders by priority desc, then arrival (seq) asc.
+type waiterHeap []*pqWaiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].pri != h[j].pri {
+		return h[i].pri > h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*pqWaiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	w := old[len(old)-1]
+	old[len(old)-1] = nil
+	w.index = -1
+	*h = old[:len(old)-1]
+	return w
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: the same (members, vnodes) assigns every key the
+// same owner regardless of join order — router replicas agree on the
+// shard map without coordination.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(64)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		a.Add(n)
+	}
+	b := NewRing(64)
+	for _, n := range []string{"n3", "n1", "n2"} {
+		b.Add(n)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		oa, ok := a.Owner(key)
+		if !ok {
+			t.Fatalf("no owner for %s", key)
+		}
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("join order changed owner of %s: %s vs %s", key, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(0) // 0 → DefaultVNodes
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if got := r.Owners("k", 3); got != nil {
+		t.Fatalf("empty ring Owners = %v", got)
+	}
+	r.Add("n1")
+	r.Add("n1") // idempotent
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d after duplicate Add", r.Size())
+	}
+	r.Remove("ghost") // idempotent
+	r.Add("n2")
+	if got := r.Members(); len(got) != 2 || got[0] != "n1" || got[1] != "n2" {
+		t.Fatalf("Members = %v", got)
+	}
+}
+
+// TestRingOwnersPreferenceOrder: Owners returns distinct members, the
+// owner first — the router's failover order.
+func TestRingOwnersPreferenceOrder(t *testing.T) {
+	r := NewRing(64)
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		r.Add(n)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key, 10) // clamped to 4
+		if len(owners) != 4 {
+			t.Fatalf("Owners(%s) = %v, want 4 distinct", key, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%s) repeats %s: %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+		first, _ := r.Owner(key)
+		if owners[0] != first {
+			t.Fatalf("Owners[0] = %s but Owner = %s", owners[0], first)
+		}
+	}
+}
+
+// TestRingBalance: with enough virtual nodes no member's key share
+// strays wildly from the fair 1/N.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const keys = 4000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		o, _ := r.Owner(fmt.Sprintf("key-%d", i))
+		counts[o]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < fair/2 || counts[n] > fair*2 {
+			t.Errorf("node %s owns %d keys, fair share %d (spread > 2x)", n, counts[n], fair)
+		}
+	}
+}
+
+// TestRingRebalance is the consistent-hashing property the design leans
+// on: adding or removing one of N members moves only about K/N keys, so
+// per-node caches stay warm across membership changes.
+func TestRingRebalance(t *testing.T) {
+	const keys = 4000
+	r := NewRing(DefaultVNodes)
+	nodes := []string{"n1", "n2", "n3", "n4"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	before := make([]string, keys)
+	for i := range before {
+		before[i], _ = r.Owner(fmt.Sprintf("key-%d", i))
+	}
+
+	// Join: a 5th node should take ~1/5 of the keys and nothing else moves.
+	r.Add("n5")
+	movedToNew, movedElsewhere := 0, 0
+	after := make([]string, keys)
+	for i := range after {
+		after[i], _ = r.Owner(fmt.Sprintf("key-%d", i))
+		if after[i] != before[i] {
+			if after[i] == "n5" {
+				movedToNew++
+			} else {
+				movedElsewhere++
+			}
+		}
+	}
+	if movedElsewhere != 0 {
+		t.Errorf("join moved %d keys between pre-existing nodes; consistent hashing moves none", movedElsewhere)
+	}
+	fair := keys / 5
+	if movedToNew < fair/2 || movedToNew > fair*2 {
+		t.Errorf("join moved %d keys to the new node, want about %d (K/N)", movedToNew, fair)
+	}
+
+	// Leave: removing n5 must restore the original map exactly.
+	r.Remove("n5")
+	for i := 0; i < keys; i++ {
+		o, _ := r.Owner(fmt.Sprintf("key-%d", i))
+		if o != before[i] {
+			t.Fatalf("key-%d owner %s after leave, want original %s", i, o, before[i])
+		}
+	}
+}

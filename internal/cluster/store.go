@@ -1,0 +1,332 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Op is one journal record kind.
+type Op string
+
+// The journaled lifecycle. Submit and the terminal ops are what replay
+// keys on; start records distinguish a job that was interrupted mid-run
+// from one that never left the queue, and resume records tie a replayed
+// execution back to its original logical id.
+const (
+	OpSubmit Op = "submit"
+	OpStart  Op = "start"
+	OpResume Op = "resume"
+	OpDone   Op = "done"
+	OpFail   Op = "fail"
+	OpCancel Op = "cancel"
+)
+
+// Record is one line of the append-only journal. ID is the logical job
+// id — stable across restarts even though the in-memory jobs.Manager
+// assigns a fresh process-local id to a replayed run.
+type Record struct {
+	Op      Op              `json:"op"`
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind,omitempty"`    // executor kind (submit only)
+	Key     string          `json:"key,omitempty"`     // result-cache key (submit only)
+	Payload json.RawMessage `json:"payload,omitempty"` // executor input (submit only)
+	Result  json.RawMessage `json:"result,omitempty"`  // done only
+	Err     string          `json:"err,omitempty"`     // fail only
+	TS      time.Time       `json:"ts"`
+}
+
+// JobState is the replayed view of one logical job.
+type JobState struct {
+	ID      string
+	Kind    string
+	Key     string
+	Payload json.RawMessage
+	Status  Op // OpSubmit (queued), OpStart (interrupted running), or terminal
+	Result  json.RawMessage
+	Err     string
+}
+
+// Terminal reports whether the replayed status is final.
+func (s JobState) Terminal() bool {
+	return s.Status == OpDone || s.Status == OpFail || s.Status == OpCancel
+}
+
+// Interrupted reports that the job was mid-run when the journal ends —
+// the process died (or was killed) with the job executing.
+func (s JobState) Interrupted() bool { return s.Status == OpStart }
+
+// Store is the persistent job store: an append-only JSONL journal plus
+// an optional snapshot, both under one data dir. Appends are serialized
+// and flushed to the OS before Append returns, so a job acknowledged to
+// a client survives a process crash; Sync additionally fsyncs each
+// append for machine-crash durability at a large latency cost.
+type Store struct {
+	dir  string
+	sync bool
+
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	state map[string]*JobState // logical id → latest state
+	order []string             // submit order, for deterministic replay
+}
+
+const (
+	journalName  = "journal.jsonl"
+	snapshotName = "snapshot.json"
+)
+
+// StoreOptions tunes OpenStore.
+type StoreOptions struct {
+	// Sync fsyncs the journal on every append. Default off: appends are
+	// flushed to the OS (surviving process death) but not to the platter.
+	Sync bool
+}
+
+// OpenStore opens (creating if needed) the store under dir, loading the
+// snapshot and replaying the journal into memory. The returned store is
+// ready for Append; read the recovered state with Pending and Done.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: store dir: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		sync:  opts.Sync,
+		state: make(map[string]*JobState),
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.loadJournal(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open journal: %w", err)
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+func (s *Store) loadSnapshot() error {
+	blob, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: read snapshot: %w", err)
+	}
+	var snap struct {
+		Jobs []*JobState `json:"jobs"`
+	}
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return fmt.Errorf("cluster: decode snapshot: %w", err)
+	}
+	for _, j := range snap.Jobs {
+		s.state[j.ID] = j
+		s.order = append(s.order, j.ID)
+	}
+	return nil
+}
+
+func (s *Store) loadJournal() error {
+	f, err := os.Open(filepath.Join(s.dir, journalName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: open journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final line is the expected crash artifact: the write
+			// was cut mid-record. Ignore it (the job it described was never
+			// acknowledged) and stop — nothing can follow a torn line.
+			return nil
+		}
+		s.apply(rec)
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("cluster: scan journal: %w", err)
+	}
+	return nil
+}
+
+// apply folds one record into the in-memory state map.
+func (s *Store) apply(rec Record) {
+	switch rec.Op {
+	case OpSubmit:
+		if _, ok := s.state[rec.ID]; ok {
+			return // duplicate submit line; keep the first
+		}
+		s.state[rec.ID] = &JobState{
+			ID: rec.ID, Kind: rec.Kind, Key: rec.Key,
+			Payload: rec.Payload, Status: OpSubmit,
+		}
+		s.order = append(s.order, rec.ID)
+	case OpStart, OpResume:
+		if j, ok := s.state[rec.ID]; ok && !j.Terminal() {
+			if rec.Op == OpStart {
+				j.Status = OpStart
+			} else {
+				j.Status = OpSubmit // re-queued by a replay; not yet running
+			}
+		}
+	case OpDone, OpFail, OpCancel:
+		if j, ok := s.state[rec.ID]; ok {
+			j.Status = rec.Op
+			j.Result = rec.Result
+			j.Err = rec.Err
+		}
+	}
+}
+
+// Append journals one record and makes it durable per the store's sync
+// policy before returning.
+func (s *Store) Append(rec Record) error {
+	if rec.TS.IsZero() {
+		rec.TS = time.Now()
+	}
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cluster: encode record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return fmt.Errorf("cluster: store closed")
+	}
+	if _, err := s.w.Write(append(blob, '\n')); err != nil {
+		return fmt.Errorf("cluster: append: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("cluster: flush: %w", err)
+	}
+	if s.sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("cluster: fsync: %w", err)
+		}
+	}
+	s.apply(rec)
+	return nil
+}
+
+// Pending returns the non-terminal jobs in submit order — the replay
+// work list: queued jobs plus interrupted running jobs.
+func (s *Store) Pending() []JobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []JobState
+	for _, id := range s.order {
+		if j := s.state[id]; j != nil && !j.Terminal() {
+			out = append(out, *j)
+		}
+	}
+	return out
+}
+
+// Done returns the completed jobs (with their journaled results) in
+// submit order — the cache-warming list for exactly-once visibility.
+func (s *Store) Done() []JobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []JobState
+	for _, id := range s.order {
+		if j := s.state[id]; j != nil && j.Status == OpDone {
+			out = append(out, *j)
+		}
+	}
+	return out
+}
+
+// Len reports how many logical jobs the store tracks.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.state)
+}
+
+// Compact writes the current state as a snapshot and truncates the
+// journal — bounding replay time after long uptimes. Terminal cancel
+// and fail entries are dropped (nothing replays them); done results and
+// pending jobs are kept.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return fmt.Errorf("cluster: store closed")
+	}
+	var snap struct {
+		Jobs []*JobState `json:"jobs"`
+	}
+	keptIDs := make([]string, 0, len(s.order))
+	kept := make(map[string]*JobState, len(s.state))
+	for _, id := range s.order {
+		j := s.state[id]
+		if j == nil || j.Status == OpFail || j.Status == OpCancel {
+			continue
+		}
+		snap.Jobs = append(snap.Jobs, j)
+		keptIDs = append(keptIDs, id)
+		kept[id] = j
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("cluster: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("cluster: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("cluster: install snapshot: %w", err)
+	}
+	// Truncate the journal now that the snapshot covers its contents.
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("cluster: flush: %w", err)
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("cluster: truncate journal: %w", err)
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("cluster: rewind journal: %w", err)
+	}
+	s.w.Reset(s.f)
+	s.order = keptIDs
+	s.state = kept
+	return nil
+}
+
+// Close flushes and closes the journal. The store rejects appends after
+// Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	flushErr := s.w.Flush()
+	closeErr := s.f.Close()
+	s.w, s.f = nil, nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

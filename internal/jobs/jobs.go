@@ -168,6 +168,10 @@ type Config struct {
 	// before the job is marked failed. Cancellation is never retried.
 	// Default 1 (fail on first error).
 	MaxAttempts int
+	// IDPrefix, when set, prefixes job ids as "<prefix>-j-<n>". In a
+	// multi-node fleet the prefix is the node id, which makes job ids
+	// unique fleet-wide and lets the router map an id back to its owner.
+	IDPrefix string
 }
 
 func (c Config) withDefaults() Config {
@@ -239,6 +243,25 @@ func NewManager(cfg Config) *Manager {
 // Workers reports the pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
 
+// jobID formats the next job id; must run with m.mu held (reads m.seq).
+func (m *Manager) jobID() string {
+	if m.cfg.IDPrefix != "" {
+		return fmt.Sprintf("%s-j-%d", m.cfg.IDPrefix, m.seq)
+	}
+	return fmt.Sprintf("j-%d", m.seq)
+}
+
+// WarmCache installs a result directly into the result cache — the
+// replay path of the persistent job store re-publishes journaled
+// results through it, so a request that duplicates pre-restart work is
+// a cache hit instead of a re-run.
+func (m *Manager) WarmCache(key string, val any) {
+	if key == "" {
+		return
+	}
+	m.cache.Add(key, val)
+}
+
 // SubmitOpts tunes one submission.
 type SubmitOpts struct {
 	// Key, when non-empty, is the canonical cache key for the job's
@@ -279,7 +302,7 @@ func (m *Manager) SubmitCoalesced(fn Func, opts SubmitOpts) (*Job, bool, error) 
 		if v, ok := m.cache.Get(opts.Key); ok {
 			m.seq++
 			j := &Job{
-				id:        fmt.Sprintf("j-%d", m.seq),
+				id:        m.jobID(),
 				fn:        fn,
 				key:       opts.Key,
 				requestID: opts.RequestID,
@@ -303,7 +326,7 @@ func (m *Manager) SubmitCoalesced(fn Func, opts SubmitOpts) (*Job, bool, error) 
 	}
 	m.seq++
 	j := &Job{
-		id:        fmt.Sprintf("j-%d", m.seq),
+		id:        m.jobID(),
 		fn:        fn,
 		key:       opts.Key,
 		requestID: opts.RequestID,

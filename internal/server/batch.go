@@ -73,10 +73,17 @@ func (s *Server) handleDesignBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.checkBatchSize(w, len(req.Items)) {
 		return
 	}
+	// Admission charges the whole batch as its item count and one
+	// priority-queue lease, released when the stream finishes.
+	release, ok := s.admit(w, r, len(req.Items))
+	if !ok {
+		return
+	}
+	defer release()
 	requestID := telemetry.RequestIDOf(r.Context())
 	var (
 		invalid []BatchItemResult
-		items   []jobs.BatchItem
+		entries []jobs.BatchEntry
 		idxOf   []int // submitted position → original item index
 	)
 	for i := range req.Items {
@@ -85,13 +92,14 @@ func (s *Server) handleDesignBatch(w http.ResponseWriter, r *http.Request) {
 			invalid = append(invalid, BatchItemResult{Index: i, Error: err.Error()})
 			continue
 		}
-		items = append(items, jobs.BatchItem{
-			Fn:   s.designFunc(sp, req.Items[i], requestID),
-			Opts: jobs.SubmitOpts{Key: designKey(sp, req.Items[i]), RequestID: requestID},
-		})
+		// Coalescing forced on, exactly like jobs.SubmitBatch; routing
+		// through submitDesignJob keeps batch items journaled when the
+		// persistent store is enabled.
+		j, shared, err := s.submitDesignJob(sp, req.Items[i], requestID, true)
+		entries = append(entries, jobs.BatchEntry{Job: j, Coalesced: shared, Err: err})
 		idxOf = append(idxOf, i)
 	}
-	s.streamBatch(w, r, "design", len(req.Items), invalid, idxOf, s.jobs.SubmitBatch(items),
+	s.streamBatch(w, r, "design", len(req.Items), invalid, idxOf, entries,
 		func(line *BatchItemResult, v any) {
 			line.Design = v.(*DesignResponse)
 		})

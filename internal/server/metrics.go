@@ -76,6 +76,34 @@ func (s *Server) initTelemetry(o Options) {
 		"Batch items served, by endpoint and outcome (ok|error).",
 		"endpoint", "outcome")
 
+	// Admission control: items admitted and shed per tenant (sheds split
+	// by reason: over-rate vs wait-queue overflow), and the per-tenant
+	// priority-queue depth. The aggregate funcs mirror the admission
+	// controller's own counters so /stats and /metrics agree.
+	s.admits = s.reg.CounterVec("artisan_admit_total",
+		"Design items admitted, by tenant.", "tenant")
+	s.sheds = s.reg.CounterVec("artisan_shed_total",
+		"Design items shed with 429, by tenant and reason (rate|queue).",
+		"tenant", "reason")
+	s.tenantQueue = s.reg.GaugeVec("artisan_tenant_queue_depth",
+		"Admitted requests waiting in the priority queue, by tenant.", "tenant")
+	if s.admission != nil {
+		s.reg.CounterFunc("artisan_admission_admitted_total",
+			"Design items admitted across all tenants.",
+			func() float64 {
+				admitted, shed := s.admission.Totals()
+				_ = shed
+				return float64(admitted)
+			})
+		s.reg.CounterFunc("artisan_admission_shed_total",
+			"Design items shed across all tenants.",
+			func() float64 {
+				admitted, shed := s.admission.Totals()
+				_ = admitted
+				return float64(shed)
+			})
+	}
+
 	// Resilience: one labeled family over the service-wide counter
 	// snapshot, one event per label value.
 	events := []struct {

@@ -19,10 +19,14 @@ import (
 	"math"
 	"mime"
 	"net/http"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"artisan/internal/agents"
+	"artisan/internal/cluster"
 	"artisan/internal/core"
 	"artisan/internal/experiment"
 	"artisan/internal/jobs"
@@ -74,6 +78,30 @@ type Options struct {
 	// MaxBatch bounds the item count of one POST /design/batch or
 	// POST /simulate/batch request (oversized batches get 413); default 64.
 	MaxBatch int
+	// NodeID names this node in a multi-node fleet: job ids are prefixed
+	// "<NodeID>-j-<n>" (fleet-unique, so the router can map an id back to
+	// its owner) and /healthz reports it for the router's membership map.
+	NodeID string
+	// DataDir, when set, enables the persistent job store: design
+	// submissions and state transitions are journaled under this
+	// directory, and on startup the journal is replayed — completed
+	// results re-warm the cache, interrupted jobs re-execute.
+	DataDir string
+	// StoreSync fsyncs every journal append (machine-crash durability at
+	// a latency cost; default off — process-crash durability only).
+	StoreSync bool
+	// TenantRate, when positive, enables per-tenant admission control:
+	// each tenant (X-Tenant header; "default" when absent) may submit
+	// this many design items per second sustained.
+	TenantRate float64
+	// TenantBurst is the admission token-bucket depth; default 2*TenantRate.
+	TenantBurst float64
+	// ModelLatency, when positive, models the remote designer-LLM call
+	// latency inside each non-cached design run (the paper's deployment
+	// calls a remote fine-tuned GPT; the in-process domain model is
+	// instant). Used by loadgen's fleet mode to measure horizontal
+	// scaling under the latency-bound regime real LLM serving lives in.
+	ModelLatency time.Duration
 }
 
 // Server holds the service configuration.
@@ -106,13 +134,43 @@ type Server struct {
 	batchSize        *telemetry.Histogram
 	batchItemSeconds *telemetry.HistogramVec
 	batchItems       *telemetry.CounterVec
+
+	// Distributed serving tier (see internal/cluster): the persistent
+	// job store (nil without Options.DataDir), per-tenant admission
+	// control and the priority queue in front of the pool (nil without
+	// Options.TenantRate), and the draining flag /healthz flips to 503
+	// on so a router pulls the node from rotation before its queue
+	// closes.
+	persist   *cluster.PersistentManager
+	admission *cluster.Admission
+	pqueue    *cluster.PQueue
+	draining  atomic.Bool
+
+	// Admission instruments: items admitted/shed per tenant and the
+	// per-tenant wait-queue depth.
+	admits      *telemetry.CounterVec
+	sheds       *telemetry.CounterVec
+	tenantQueue *telemetry.GaugeVec
 }
 
 // New builds the service with default options.
 func New() *Server { return NewWithOptions(Options{}) }
 
-// NewWithOptions builds the service with all routes registered.
+// NewWithOptions builds the service with all routes registered. It
+// panics when the persistent job store cannot be opened — use NewServer
+// when Options.DataDir is set and the error should be handled.
 func NewWithOptions(o Options) *Server {
+	s, err := NewServer(o)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewServer builds the service with all routes registered, including
+// the distributed-tier wiring (persistent store replay, admission
+// control) when the corresponding options are set.
+func NewServer(o Options) (*Server, error) {
 	if o.MaxTreeWidth < 1 {
 		o.MaxTreeWidth = 4
 	}
@@ -135,6 +193,7 @@ func NewWithOptions(o Options) *Server {
 		jobs: jobs.NewManager(jobs.Config{
 			Workers: o.Workers, Queue: o.Queue,
 			CacheSize: o.CacheSize, JobTimeout: o.JobTimeout,
+			IDPrefix: o.NodeID,
 		}),
 		opts:     o,
 		counters: counters,
@@ -143,7 +202,40 @@ func NewWithOptions(o Options) *Server {
 			Counters: counters,
 		}),
 	}
+	s.admission = cluster.NewAdmission(cluster.AdmissionConfig{
+		Rate: o.TenantRate, Burst: o.TenantBurst,
+	})
 	s.initTelemetry(o)
+	if s.admission != nil {
+		// The lease pool covers the workers plus the pending queue; the
+		// wait queue in front of it is deliberately small — overload
+		// should shed quickly, not build unbounded latency.
+		workers, queue := o.Workers, o.Queue
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if queue < 1 {
+			queue = 64
+		}
+		s.pqueue = cluster.NewPQueue(workers+queue, queue, func(tenant string, depth int) {
+			s.tenantQueue.With(tenant).Set(float64(depth))
+		})
+	}
+	if o.DataDir != "" {
+		store, err := cluster.OpenStore(o.DataDir, cluster.StoreOptions{Sync: o.StoreSync})
+		if err != nil {
+			return nil, err
+		}
+		s.persist = cluster.NewPersistentManager(s.jobs, store)
+		s.persist.Register("design", cluster.Executor{
+			Run:    s.runPersistedDesign,
+			Decode: decodePersistedDesign,
+		})
+		if _, err := s.persist.Replay(); err != nil {
+			_ = store.Close()
+			return nil, fmt.Errorf("server: journal replay: %w", err)
+		}
+	}
 	s.handle("GET /healthz", http.HandlerFunc(s.handleHealth))
 	s.handle("GET /stats", http.HandlerFunc(s.handleStats))
 	s.handle("GET /metrics", s.reg.Handler())
@@ -158,14 +250,32 @@ func NewWithOptions(o Options) *Server {
 	s.handle("GET /jobs", http.HandlerFunc(s.handleJobList))
 	s.handle("GET /jobs/{id}", http.HandlerFunc(s.handleJobGet))
 	s.handle("DELETE /jobs/{id}", http.HandlerFunc(s.handleJobCancel))
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Shutdown drains the design worker pool (used for graceful exit).
-func (s *Server) Shutdown(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
+// StartDraining marks the node not-ready: /healthz answers 503 from now
+// on, so a router health probe pulls the node out of rotation before
+// the job queue actually closes. Call it on SIGTERM, ahead of Shutdown.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether the node is shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown marks the node draining, drains the design worker pool, and
+// closes the persistent job store (used for graceful exit).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.StartDraining()
+	err := s.jobs.Shutdown(ctx)
+	if s.persist != nil {
+		if cerr := s.persist.Store().Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -203,9 +313,21 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// handleHealth is the readiness probe the router keys node membership
+// on: 200 while serving, 503 the moment draining starts — before the
+// job queue closes — so the router pulls the node from rotation instead
+// of seeing mid-drain submit errors. The body always carries the node
+// id so the router can map fleet-unique job ids back to their owner.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":       "ok",
+	status := http.StatusOK
+	state := "ok"
+	if s.draining.Load() {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":       state,
+		"node":         s.opts.NodeID,
 		"jobs":         s.jobs.Counts(),
 		"queueDepth":   s.jobs.QueueDepth(),
 		"cache":        s.jobs.CacheStats(),
@@ -216,24 +338,131 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats surfaces the service-wide resilience counters, breaker
-// state, and the operating configuration — the observability face of the
-// fault-tolerance layer.
+// state, queue saturation, admission control, journal replay totals,
+// and the operating configuration — the observability face of the
+// fault-tolerance and distributed layers.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"resilience":   s.counters.Snapshot(),
-		"breaker":      s.breaker.State().String(),
-		"jobs":         s.jobs.Counts(),
-		"queueDepth":   s.jobs.QueueDepth(),
-		"cache":        s.jobs.CacheStats(),
-		"coalesceHits": s.jobs.CoalesceHits(),
+	out := map[string]any{
+		"node":           s.opts.NodeID,
+		"resilience":     s.counters.Snapshot(),
+		"breaker":        s.breaker.State().String(),
+		"jobs":           s.jobs.Counts(),
+		"queueDepth":     s.jobs.QueueDepth(),
+		"queue_depth":    s.jobs.QueueDepth(),
+		"queue_capacity": s.jobs.QueueCapacity(),
+		"cache":          s.jobs.CacheStats(),
+		"coalesceHits":   s.jobs.CoalesceHits(),
 		"config": map[string]any{
 			"retryMax":         s.opts.RetryMax,
 			"breakerThreshold": s.opts.BreakerThreshold,
 			"toolTimeout":      s.opts.ToolTimeout.String(),
 			"faultRate":        s.opts.FaultRate,
 			"maxBatch":         s.opts.MaxBatch,
+			"tenantRate":       s.opts.TenantRate,
 		},
-	})
+	}
+	if s.admission != nil {
+		admitted, shed := s.admission.Totals()
+		out["admission"] = map[string]any{
+			"admitted": admitted,
+			"shed":     shed,
+			"tenants":  s.admission.Snapshot(),
+			"waiting":  s.pqueue.Waiting(),
+		}
+	}
+	if s.persist != nil {
+		warmed, resubmitted := s.persist.ReplayCounts()
+		out["replay"] = map[string]any{
+			"resultsWarmed": warmed,
+			"resubmitted":   resubmitted,
+			"journalJobs":   s.persist.Store().Len(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// tenantOf resolves the admission tenant of a request: the X-Tenant
+// header, or "default".
+func tenantOf(r *http.Request) string {
+	if t := strings.TrimSpace(r.Header.Get("X-Tenant")); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// priorityOf resolves the X-Priority header, clamped to [0,9] (higher
+// drains first under overload); absent or malformed means 0.
+func priorityOf(r *http.Request) int {
+	v, err := strconv.Atoi(strings.TrimSpace(r.Header.Get("X-Priority")))
+	if err != nil || v < 0 {
+		return 0
+	}
+	if v > 9 {
+		return 9
+	}
+	return v
+}
+
+// retryAfterSeconds derives the Retry-After hint for shed and
+// over-capacity responses from queue saturation: the deeper the pending
+// queue relative to the worker pool, the longer a retry should wait.
+// Clamped to [1,30] seconds.
+func (s *Server) retryAfterSeconds() int {
+	workers := s.jobs.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	secs := 1 + s.jobs.QueueDepth()/workers
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// writeShed writes a load-shedding response: status (429 or 503) plus a
+// Retry-After header. A non-zero wait (from the tenant's token bucket)
+// overrides the queue-derived hint.
+func (s *Server) writeShed(w http.ResponseWriter, status int, wait time.Duration, err error) {
+	secs := s.retryAfterSeconds()
+	if wait > 0 {
+		secs = int(math.Ceil(wait.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErr(w, status, err)
+}
+
+// admit runs the request through per-tenant admission control and the
+// priority queue, charging items tokens. On success the returned
+// release must be called when the admitted work reaches a terminal
+// state; on shed the 429 response (with Retry-After) is already
+// written. With admission disabled it is a no-op pass.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, items int) (release func(), ok bool) {
+	if s.admission == nil {
+		return func() {}, true
+	}
+	tenant := tenantOf(r)
+	d := s.admission.AdmitN(tenant, items)
+	if !d.OK {
+		s.sheds.With(tenant, "rate").Add(float64(items))
+		s.writeShed(w, http.StatusTooManyRequests, d.RetryAfter,
+			fmt.Errorf("tenant %q over rate limit", tenant))
+		return nil, false
+	}
+	release, err := s.pqueue.Acquire(r.Context(), tenant, priorityOf(r))
+	switch {
+	case errors.Is(err, cluster.ErrShed):
+		s.sheds.With(tenant, "queue").Add(float64(items))
+		s.writeShed(w, http.StatusTooManyRequests, 0, err)
+		return nil, false
+	case err != nil: // client gave up while waiting
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return nil, false
+	}
+	s.admits.With(tenant).Add(float64(items))
+	return release, true
 }
 
 // groupJSON is the wire form of a spec group.
@@ -386,6 +615,16 @@ func (s *Server) designFunc(sp spec.Spec, req DesignRequest, requestID string) j
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if s.opts.ModelLatency > 0 {
+			// Model the remote designer-LLM round trip (see Options).
+			t := time.NewTimer(s.opts.ModelLatency)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
 		// The pool context is not the request context, so the tracer and
 		// correlation id are attached here, at run time.
 		ctx = telemetry.WithTracer(ctx, s.tracer)
@@ -467,7 +706,55 @@ func (s *Server) designFunc(sp spec.Spec, req DesignRequest, requestID string) j
 	}
 }
 
-// submitDesign validates, canonicalizes, and enqueues a design request.
+// persistedDesign is the journaled payload of one design job — enough
+// to re-derive the jobs.Func after a restart.
+type persistedDesign struct {
+	Req       DesignRequest `json:"req"`
+	RequestID string        `json:"requestID,omitempty"`
+}
+
+// runPersistedDesign is the "design" executor behind the persistent job
+// store: it rebuilds the design closure from a journaled payload and
+// runs it. Fresh submissions go through the same path, so live and
+// replayed runs are byte-identical.
+func (s *Server) runPersistedDesign(ctx context.Context, payload json.RawMessage) (any, error) {
+	var pd persistedDesign
+	if err := json.Unmarshal(payload, &pd); err != nil {
+		return nil, fmt.Errorf("server: corrupt persisted design: %w", err)
+	}
+	sp, err := s.parseDesignRequest(&pd.Req)
+	if err != nil {
+		return nil, fmt.Errorf("server: persisted design no longer valid: %w", err)
+	}
+	return s.designFunc(sp, pd.Req, pd.RequestID)(ctx)
+}
+
+// decodePersistedDesign rehydrates a journaled result for cache
+// warming.
+func decodePersistedDesign(raw json.RawMessage) (any, error) {
+	var resp DesignResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// submitDesignJob enqueues one parsed design request, through the
+// persistent store when enabled.
+func (s *Server) submitDesignJob(sp spec.Spec, req DesignRequest, requestID string, coalesce bool) (*jobs.Job, bool, error) {
+	opts := jobs.SubmitOpts{Key: designKey(sp, req), RequestID: requestID, Coalesce: coalesce}
+	if s.persist != nil {
+		payload, err := json.Marshal(persistedDesign{Req: req, RequestID: requestID})
+		if err != nil {
+			return nil, false, err
+		}
+		return s.persist.Submit("design", payload, opts)
+	}
+	return s.jobs.SubmitCoalesced(s.designFunc(sp, req, requestID), opts)
+}
+
+// submitDesign validates, canonicalizes, admits, and enqueues a design
+// request.
 func (s *Server) submitDesign(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
 	var req DesignRequest
 	if !decodeJSON(w, r, &req) {
@@ -478,21 +765,34 @@ func (s *Server) submitDesign(w http.ResponseWriter, r *http.Request) (*jobs.Job
 		writeErr(w, http.StatusBadRequest, err)
 		return nil, false
 	}
+	release, ok := s.admit(w, r, 1)
+	if !ok {
+		return nil, false
+	}
 	requestID := telemetry.RequestIDOf(r.Context())
-	j, err := s.jobs.Submit(s.designFunc(sp, req, requestID),
-		jobs.SubmitOpts{Key: designKey(sp, req), RequestID: requestID})
+	j, _, err := s.submitDesignJob(sp, req, requestID, false)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, err)
+		release()
+		s.writeShed(w, http.StatusServiceUnavailable, 0, err)
 		return nil, false
 	case errors.Is(err, jobs.ErrShutdown):
+		release()
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return nil, false
 	case err != nil:
+		release()
 		writeErr(w, http.StatusInternalServerError, err)
 		return nil, false
 	}
+	// The admission lease spans the job's whole life — queued, running,
+	// terminal — regardless of whether the caller waits (sync /design) or
+	// polls (async /jobs).
+	go func() {
+		defer release()
+		_, werr := j.Wait(context.Background())
+		_ = werr // the job's own state records the outcome
+	}()
 	return j, true
 }
 

@@ -48,6 +48,21 @@ sed '$d' "$out" > "$merged"   # drop the closing ]
 printf ',\n' >> "$merged"
 sed '1d' "$ltmp" >> "$merged" # drop the opening [, keep the closing ]
 mv "$merged" "$out"
+
+# Fleet benchmark: the same seeded workload through one worker node and
+# through two nodes behind the consistent-hash router (see cmd/loadgen
+# fleet mode). Design runs carry modeled remote-LLM latency — the
+# latency-bound regime real LLM serving lives in — so the recorded
+# speedup_vs_one_node measures horizontal scaling plus router overhead.
+ftmp="$(mktemp)"
+trap 'rm -f "$tmp" "$ltmp" "$ftmp"' EXIT
+go run ./cmd/loadgen -mode fleet -nodes 2 -node-workers 4 -model-latency 100ms \
+    -n 200 -dup 0 -concurrency 32 -seed 1 -repeat 2 -out "$ftmp"
+merged="$(mktemp)"
+sed '$d' "$out" > "$merged"
+printf ',\n' >> "$merged"
+sed '1d' "$ftmp" >> "$merged"
+mv "$merged" "$out"
 echo "bench: wrote $out"
 
 if [ -n "$baseline" ]; then

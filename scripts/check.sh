@@ -1,8 +1,9 @@
 #!/bin/sh
 # CI gate: vet, build, full test suite, a race pass over the
-# concurrency-heavy packages, a chaos smoke over the resilience layer,
-# a hot-path perf gate against the committed benchmark baseline, and an
-# errcheck-style grep gate. Mirrors `make check`.
+# concurrency-heavy packages, a two-node router smoke, a chaos smoke
+# over the resilience layer, a hot-path perf gate against the committed
+# benchmark baseline, and an errcheck-style grep gate. Mirrors
+# `make check`.
 set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
@@ -10,7 +11,13 @@ go build ./...
 go test ./...
 go test -race ./internal/jobs ./internal/server ./internal/experiment \
     ./internal/resilience ./internal/agents ./internal/telemetry \
-    ./internal/mna ./internal/measure ./internal/sizing
+    ./internal/mna ./internal/measure ./internal/sizing ./internal/cluster
+
+# Two-node router smoke: a quick fleet loadgen run proves two worker
+# nodes behind the consistent-hash router serve the full mix end to end
+# (routing, health probes, NDJSON pass-through) before the long gates.
+go run ./cmd/loadgen -mode fleet -nodes 2 -n 60 -dup 0.5 -concurrency 8 \
+    -node-workers 2 -model-latency 5ms -repeat 1
 
 # Chaos smoke: the seeded fault injector, retry, and breaker tests must
 # be deterministic — -count=2 re-runs them to catch order dependence.
