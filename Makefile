@@ -20,9 +20,13 @@ race:
 		./internal/resilience ./internal/agents ./internal/telemetry \
 		./internal/mna ./internal/measure ./internal/sizing
 
-# Chaos smoke: deterministic fault-injection suite, run twice.
+# Chaos: the deterministic fault-injection suite run twice, then the
+# fleet chaos harness's long profile — a bigger fleet under a denser
+# kill/restart/partition/brownout script with the invariant checkers
+# over the merged end state (see internal/chaos and DESIGN.md).
 chaos:
 	$(GO) test ./internal/resilience/... -race -count=2
+	ARTISAN_CHAOS_LONG=1 $(GO) test ./internal/chaos -race -count=1
 
 check: vet build test race chaos
 

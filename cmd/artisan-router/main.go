@@ -22,6 +22,12 @@
 //     answers 503 and leaves the ring before its queue closes.
 //   - X-Request-ID, X-Tenant, and X-Priority pass through untouched (a
 //     missing request id is generated at the edge).
+//   - X-Deadline-Ms is an end-to-end budget: accepted from the client or
+//     minted by -default-deadline, decremented across hops and failover
+//     attempts, 504 when it runs out before any node answers.
+//   - Slow GET /jobs/{id} polls are hedged against the rest of the fleet
+//     after -hedge-delay; hedge launches count into
+//     artisan_router_hedges_total.
 package main
 
 import (
@@ -47,8 +53,11 @@ func main() {
 		vnodes    = flag.Int("vnodes", cluster.DefaultVNodes, "hash-ring virtual nodes per worker")
 		healthInt = flag.Duration("health-interval", 2*time.Second, "node health-check period")
 		retryMax  = flag.Int("retry-max", 3, "forwarding attempts across ring candidates")
+		retryJit  = flag.Float64("retry-jitter", 0.5, "failover backoff jitter fraction (de-synchronizes retry storms)")
 		breakThr  = flag.Int("breaker-threshold", 3, "consecutive failures that open a node's breaker")
 		breakCool = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before probing a node again")
+		hedgeDly  = flag.Duration("hedge-delay", 25*time.Millisecond, "delay before hedging a slow GET /jobs/{id} or /stats read (negative disables)")
+		deadline  = flag.Duration("default-deadline", 0, "X-Deadline-Ms budget minted for requests without one (0 = unbounded)")
 		drainTime = flag.Duration("drain-timeout", 10*time.Second, "shutdown drain budget")
 	)
 	flag.Parse()
@@ -63,9 +72,12 @@ func main() {
 		Retry: resilience.RetryPolicy{
 			MaxAttempts: *retryMax,
 			BaseDelay:   25 * time.Millisecond,
+			Jitter:      *retryJit,
 		},
 		BreakerThreshold: *breakThr,
 		BreakerCooldown:  *breakCool,
+		HedgeDelay:       *hedgeDly,
+		DefaultDeadline:  *deadline,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -92,6 +92,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if p := svc.Persist(); p != nil {
+		// Surface replay integrity at startup: quarantined corrupt records
+		// are an operator signal (see journal.quarantine.jsonl), not a
+		// crash, and they are also counted on /stats and /metrics.
+		st := p.Store().Stats()
+		if st.Journal.Corrupt > 0 || st.Journal.TornTail {
+			log.Printf("journal replay: %d records (%d legacy), %d corrupt quarantined, torn tail %v",
+				st.Journal.Records, st.Journal.Legacy, st.Journal.Corrupt, st.Journal.TornTail)
+		}
+	}
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      svc,

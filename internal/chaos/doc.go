@@ -1,0 +1,47 @@
+// Package chaos is a deterministic in-process fleet chaos harness for
+// the Artisan serving tier. It builds an N-node fleet — real
+// server.Server instances over real on-disk journals, fronted by a real
+// cluster.Router — wired together through a fault-injecting virtual
+// network instead of TCP, then drives a seeded duplicate-heavy workload
+// while a scheduled fault script kills and restarts nodes, partitions
+// links, adds latency, truncates responses mid-body, and fails journal
+// writes. When the dust settles, invariant checkers sweep the merged
+// end state (journals, live job managers, /stats, /metrics) and report
+// violations.
+//
+// The harness is deterministic where it matters: the workload and the
+// fault schedule are derived from one seed and keyed to submission
+// indices, not wall-clock timers, so a failing scenario replays
+// identically under -race -count=2. Goroutine interleavings still vary
+// run to run — which is the point: the invariants hold for *every*
+// interleaving, not one golden trace.
+//
+// Fleet invariants checked (see CheckAll):
+//
+//   - journal-terminal-order: within one node's journal, a logical job
+//     id reaches a terminal record (done|fail|cancel) at most once, and
+//     no start/resume record follows it — a finished job is never
+//     re-executed after replay.
+//   - no-lost-job: every submission the client saw accepted (202 with a
+//     parseable id, cache hits excluded) is terminal in some node's
+//     journal; a poisoned (read-only) store falls back to the node's
+//     live job table.
+//   - result-coherence: all journaled done results for one cache key
+//     are byte-identical, across every node — duplicate submissions,
+//     failovers, and replays may recompute but never diverge.
+//   - submit-accounting: journaled submit records across the fleet are
+//     at least the accepted non-cached count (failover re-sends after a
+//     lost response can legitimately journal twice; strict equality is
+//     asserted by the no-fault baseline scenario).
+//   - no-orphans: after the drain barrier no node holds a queued or
+//     running job — including jobs whose deadline budget expired before
+//     a worker picked them up.
+//   - metrics-consistency: artisan_store_corrupt_total on /metrics, the
+//     store section of /stats, the quarantine sidecar's line count, and
+//     a post-mortem rescan of the journal all agree on corruption.
+//
+// A node "kill" models SIGKILL faithfully with respect to the journal:
+// the store is closed *before* the worker pool is torn down, so
+// terminal records from the dying pool are dropped exactly as a real
+// crash would drop them, and the restart path must recover by replay.
+package chaos

@@ -1,0 +1,164 @@
+package cluster
+
+// Property test: under continuous membership churn — nodes flapping
+// between healthy and dead while clients submit — the router never
+// drops an accepted request and never double-executes one. Every
+// submission ends in exactly one of two states: acknowledged and
+// processed by exactly one node, or rejected and processed by none.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"artisan/internal/resilience"
+)
+
+// churnWorker flips between serving and dead. While down it answers
+// 503 on everything (no Retry-After — gateway-class, so the router
+// fails over); while up it records each accepted body exactly once.
+type churnWorker struct {
+	id        string
+	down      atomic.Bool
+	processed *sync.Map // body → *atomic.Int64
+	srv       *httptest.Server
+}
+
+func newChurnWorker(t *testing.T, id string, processed *sync.Map) *churnWorker {
+	t.Helper()
+	w := &churnWorker{id: id, processed: processed}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		if w.down.Load() {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(rw).Encode(map[string]string{"node": w.id})
+	})
+	mux.HandleFunc("POST /jobs", func(rw http.ResponseWriter, r *http.Request) {
+		if w.down.Load() {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		c, _ := w.processed.LoadOrStore(string(body), &atomic.Int64{})
+		c.(*atomic.Int64).Add(1)
+		rw.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(rw).Encode(map[string]string{"node": w.id})
+	})
+	w.srv = httptest.NewServer(mux)
+	t.Cleanup(w.srv.Close)
+	return w
+}
+
+// TestRouterChurnNoDropNoDouble: concurrent clients submit unique
+// bodies while a churn goroutine flaps node availability. Afterwards,
+// (status accepted) ⇔ (processed exactly once) must hold for every
+// body — no lost acks, no ghost executions, no double-answers.
+func TestRouterChurnNoDropNoDouble(t *testing.T) {
+	var processed sync.Map
+	workers := []*churnWorker{
+		newChurnWorker(t, "n1", &processed),
+		newChurnWorker(t, "n2", &processed),
+		newChurnWorker(t, "n3", &processed),
+	}
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.srv.URL
+	}
+	rt, err := NewRouter(RouterConfig{
+		Nodes:            urls,
+		HealthInterval:   5 * time.Millisecond,
+		HealthTimeout:    time.Second,
+		Retry:            resilience.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: 0.5, Seed: 7},
+		BreakerThreshold: 5,
+		BreakerCooldown:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Churn: flap random nodes for the duration of the client run.
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		rng := rand.New(rand.NewSource(42))
+		for {
+			select {
+			case <-stop:
+				for _, w := range workers {
+					w.down.Store(false)
+				}
+				return
+			case <-time.After(3 * time.Millisecond):
+				w := workers[rng.Intn(len(workers))]
+				w.down.Store(!w.down.Load())
+			}
+		}
+	}()
+
+	const clients, perClient = 8, 25
+	status := make([][]int, clients)
+	var clientWG sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		status[c] = make([]int, perClient)
+		clientWG.Add(1)
+		go func(c int) {
+			defer clientWG.Done()
+			for i := 0; i < perClient; i++ {
+				body := fmt.Sprintf(`{"client":%d,"req":%d}`, c, i)
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest(http.MethodPost, "http://router/jobs", strings.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				rt.ServeHTTP(rec, req)
+				status[c][i] = rec.Code
+			}
+		}(c)
+	}
+	clientWG.Wait()
+	close(stop)
+	churnWG.Wait()
+
+	accepted, rejected := 0, 0
+	for c := 0; c < clients; c++ {
+		for i := 0; i < perClient; i++ {
+			body := fmt.Sprintf(`{"client":%d,"req":%d}`, c, i)
+			var count int64
+			if v, ok := processed.Load(body); ok {
+				count = v.(*atomic.Int64).Load()
+			}
+			switch code := status[c][i]; {
+			case code == http.StatusAccepted:
+				accepted++
+				if count != 1 {
+					t.Errorf("body %s: accepted but processed %d times, want exactly 1", body, count)
+				}
+			case code >= 500:
+				rejected++
+				if count != 0 {
+					t.Errorf("body %s: rejected with %d but a node processed it %d times (ghost execution)", body, code, count)
+				}
+			default:
+				t.Errorf("body %s: unexpected status %d", body, code)
+			}
+		}
+	}
+	if accepted+rejected != clients*perClient {
+		t.Fatalf("answered %d of %d requests", accepted+rejected, clients*perClient)
+	}
+	if accepted == 0 {
+		t.Fatal("churn killed every request; property vacuous — loosen the flap rate")
+	}
+	t.Logf("churn run: %d accepted / %d rejected, all consistent", accepted, rejected)
+}

@@ -101,24 +101,33 @@ func (p *PersistentManager) submit(kind string, payload json.RawMessage, opts jo
 		return nil, false, err
 	}
 	snap := j.Snapshot()
-	if shared || snap.Cached {
-		return j, shared, nil // visibility covered by the journaled leader
-	}
 	if logicalID == "" {
+		if shared || snap.Cached {
+			return j, shared, nil // visibility covered by the journaled leader
+		}
 		logicalID = j.ID()
 		idCell.Store(logicalID)
 		if err := p.store.Append(Record{
 			Op: OpSubmit, ID: logicalID, Kind: kind, Key: opts.Key, Payload: payload,
 		}); err != nil {
-			// The job is already queued; without a durable submit record the
-			// caller must not treat it as persisted.
+			// The job is already queued but cannot be made durable. Cancel it
+			// so the rejected submission does not execute as a ghost — the
+			// caller is about to tell the client "not accepted", and a store
+			// poisoned mid-flight must not keep burning workers on work
+			// nobody can ever replay or account for.
+			_ = p.m.Cancel(j.ID())
 			return nil, false, err
 		}
 	} else {
+		// Replay: journal the resume — and keep watching even when the
+		// resubmission completed instantly off the warmed cache or attached
+		// to another replayed job with the same key. Skipping the terminal
+		// record here would leave the job pending in the journal forever,
+		// and every future restart would re-submit it.
 		_ = p.store.Append(Record{Op: OpResume, ID: logicalID})
 	}
 	go p.watch(logicalID, j)
-	return j, false, nil
+	return j, shared, nil
 }
 
 // watch journals the terminal transition of one job.

@@ -9,13 +9,23 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"artisan/internal/resilience"
 	"artisan/internal/telemetry"
 )
+
+// DeadlineHeader carries a request's end-to-end deadline budget in
+// integer milliseconds. The router mints it (DefaultDeadline) or
+// accepts it from the client, then re-stamps the *remaining* budget on
+// every hop and failover attempt — so a job accepted by the third
+// candidate node after two slow failures inherits only what is left of
+// the client's patience, not a fresh allowance.
+const DeadlineHeader = "X-Deadline-Ms"
 
 // RouterConfig tunes a Router.
 type RouterConfig struct {
@@ -42,6 +52,18 @@ type RouterConfig struct {
 	Registry *telemetry.Registry
 	// MaxBody bounds a proxied request body; default 1 MiB.
 	MaxBody int64
+	// HedgeDelay is how long a hedgeable read (GET /jobs/{id}, the
+	// per-node /stats fetch) waits before a second request is launched
+	// against the rest of the fleet. Default 25ms; negative disables
+	// hedging.
+	HedgeDelay time.Duration
+	// DefaultDeadline, when positive, mints an X-Deadline-Ms budget for
+	// requests that arrive without one. 0 leaves unbudgeted requests
+	// unbounded (the pre-deadline behaviour).
+	DefaultDeadline time.Duration
+	// Counters, when non-nil, receives the router's resilience events
+	// (hedges). Default: a private set, still surfaced on /metrics.
+	Counters *resilience.Counters
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -59,6 +81,17 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.Retry.BaseDelay == 0 {
 		c.Retry.BaseDelay = 25 * time.Millisecond
+	}
+	if c.Retry.Jitter <= 0 {
+		// Failover backoff is jittered by default so a fleet-wide blip does
+		// not re-arrive at the survivors as a synchronized retry storm.
+		c.Retry.Jitter = 0.5
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 25 * time.Millisecond
+	}
+	if c.Counters == nil {
+		c.Counters = &resilience.Counters{}
 	}
 	if c.BreakerThreshold < 1 {
 		c.BreakerThreshold = 3
@@ -122,10 +155,16 @@ type Router struct {
 	stop   chan struct{}
 	stopWG sync.WaitGroup
 
-	reg      *telemetry.Registry
-	proxied  *telemetry.CounterVec // node, outcome
-	retries  *telemetry.Counter
-	rejected *telemetry.Counter
+	// reqSeq varies the retry jitter seed per request: a shared seed
+	// would hand every concurrent request the same backoff schedule,
+	// re-synchronizing the very storm the jitter exists to break up.
+	reqSeq atomic.Int64
+
+	reg             *telemetry.Registry
+	proxied         *telemetry.CounterVec // node, outcome
+	retries         *telemetry.Counter
+	rejected        *telemetry.Counter
+	deadlineExpired *telemetry.Counter
 }
 
 // NewRouter builds the router and starts its health-check loop. All
@@ -179,6 +218,11 @@ func (rt *Router) initMetrics(reg *telemetry.Registry) {
 		"Proxy attempts retried onto the next ring candidate after a node failure.")
 	rt.rejected = reg.Counter("artisan_router_rejected_total",
 		"Requests rejected because no healthy node could serve them.")
+	rt.deadlineExpired = reg.Counter("artisan_router_deadline_exhausted_total",
+		"Requests whose end-to-end deadline budget ran out before any node answered.")
+	reg.CounterFunc("artisan_router_hedges_total",
+		"Hedged second reads launched after the primary exceeded the hedge delay.",
+		func() float64 { return float64(rt.cfg.Counters.Hedges.Load()) })
 	reg.GaugeFunc("artisan_router_nodes_healthy",
 		"Worker nodes currently in the ring.",
 		func() float64 { return float64(rt.ring.Size()) })
@@ -295,6 +339,37 @@ func ShardKey(body []byte) string {
 // errNoHealthyNode means every candidate was down or rejected.
 var errNoHealthyNode = errors.New("cluster: no healthy node")
 
+// errBudgetExhausted means the deadline budget ran out with failover
+// attempts still available — spending them would outlive the client.
+var errBudgetExhausted = errors.New("cluster: deadline budget exhausted")
+
+// parseDeadlineMs parses an X-Deadline-Ms value; 0 means absent or
+// malformed (malformed budgets are ignored, not errors — a proxy must
+// not 400 traffic over an advisory header).
+func parseDeadlineMs(v string) time.Duration {
+	ms, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// budgetCtx derives the request's end-to-end budget: an explicit
+// X-Deadline-Ms wins, else DefaultDeadline is minted. The zero deadline
+// means unbudgeted.
+func (rt *Router) budgetCtx(r *http.Request) (context.Context, time.Time, context.CancelFunc) {
+	budget := parseDeadlineMs(r.Header.Get(DeadlineHeader))
+	if budget <= 0 {
+		budget = rt.cfg.DefaultDeadline
+	}
+	if budget <= 0 {
+		return r.Context(), time.Time{}, func() {}
+	}
+	dl := time.Now().Add(budget)
+	ctx, cancel := context.WithDeadline(r.Context(), dl)
+	return ctx, dl, cancel
+}
+
 // handleSharded proxies a body-keyed POST to the owning node, failing
 // over clockwise around the ring (with the retry policy's backoff and
 // each node's breaker) while nodes are down.
@@ -325,8 +400,14 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, candidates []s
 		writeRouterErr(w, http.StatusServiceUnavailable, errNoHealthyNode)
 		return
 	}
+	ctx, deadline, cancel := rt.budgetCtx(r)
+	defer cancel()
+	pol := rt.cfg.Retry
+	if pol.Jitter > 0 {
+		pol.Seed += rt.reqSeq.Add(1)
+	}
 	sent := false
-	err := rt.cfg.Retry.Do(r.Context(), "router.forward", func(ctx context.Context) error {
+	err := pol.Do(ctx, "router.forward", func(ctx context.Context) error {
 		lastErr := errNoHealthyNode
 		for i, url := range candidates {
 			if i > 0 {
@@ -334,7 +415,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, candidates []s
 			}
 			n := rt.nodes[url]
 			berr := n.breaker.Do(ctx, "proxy "+url, func(ctx context.Context) error {
-				resp, ferr := rt.send(ctx, n, r, body)
+				resp, ferr := rt.send(ctx, n, r, body, deadline)
 				if ferr != nil {
 					rt.proxied.With(n.url, "error").Inc()
 					return ferr
@@ -348,8 +429,8 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, candidates []s
 			if berr == nil {
 				return nil
 			}
-			if ctx.Err() != nil {
-				return berr // client gone or deadline: stop failing over
+			if ctx.Err() != nil || errors.Is(berr, errBudgetExhausted) {
+				return berr // client gone or budget spent: stop failing over
 			}
 			lastErr = berr
 		}
@@ -357,14 +438,22 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, candidates []s
 	})
 	if err != nil && !sent {
 		rt.rejected.Inc()
-		writeRouterErr(w, http.StatusBadGateway, err)
+		status := http.StatusBadGateway
+		if errors.Is(err, errBudgetExhausted) || errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			rt.deadlineExpired.Inc()
+			status = http.StatusGatewayTimeout
+		}
+		writeRouterErr(w, status, err)
 	}
 }
 
 // send issues one proxied request. Gateway-class statuses are converted
 // to errors so the retry loop fails over; everything else is a valid
-// upstream answer.
-func (rt *Router) send(ctx context.Context, n *routerNode, r *http.Request, body []byte) (*http.Response, error) {
+// upstream answer. A non-zero deadline re-stamps the remaining budget
+// onto the hop as X-Deadline-Ms; a budget already spent fails the
+// attempt permanently instead of starting work the client gave up on.
+func (rt *Router) send(ctx context.Context, n *routerNode, r *http.Request, body []byte, deadline time.Time) (*http.Response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -376,6 +465,13 @@ func (rt *Router) send(ctx context.Context, n *routerNode, r *http.Request, body
 	copyProxyHeaders(req.Header, r.Header)
 	if req.Header.Get("X-Request-ID") == "" {
 		req.Header.Set("X-Request-ID", telemetry.NewRequestID())
+	}
+	if !deadline.IsZero() {
+		rem := time.Until(deadline).Milliseconds()
+		if rem < 1 {
+			return nil, resilience.Permanent(fmt.Errorf("%s: %w", n.url, errBudgetExhausted))
+		}
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(rem, 10))
 	}
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
@@ -465,37 +561,110 @@ func (rt *Router) handleAnyNode(w http.ResponseWriter, r *http.Request) {
 	rt.forward(w, r, candidates, nil)
 }
 
+// captured is a fully buffered upstream response — needed where two
+// in-flight copies of a request race (hedged reads) and only the winner
+// may touch the ResponseWriter.
+type captured struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func writeCaptured(w http.ResponseWriter, c *captured) {
+	for k, vs := range c.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(c.status)
+	_, _ = w.Write(c.body)
+}
+
+// capture proxies one request to n and buffers the full response.
+func (rt *Router) capture(ctx context.Context, n *routerNode, r *http.Request) (*captured, error) {
+	resp, err := rt.send(ctx, n, r, nil, time.Time{})
+	if err != nil {
+		rt.proxied.With(n.url, "error").Inc()
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBody))
+	if err != nil {
+		rt.proxied.With(n.url, "error").Inc()
+		return nil, err
+	}
+	rt.proxied.With(n.url, "ok").Inc()
+	return &captured{status: resp.StatusCode, header: resp.Header.Clone(), body: body}, nil
+}
+
+// sweepJobRead asks each healthy node but skip in turn, returning the
+// first answer that is not a 404 — a 404 from a non-owner only means
+// "not mine".
+func (rt *Router) sweepJobRead(ctx context.Context, r *http.Request, nodes []*routerNode, skip *routerNode) *captured {
+	for _, n := range nodes {
+		if n == skip {
+			continue
+		}
+		nctx, cancel := context.WithTimeout(ctx, rt.cfg.HealthTimeout)
+		c, err := rt.capture(nctx, n, r)
+		cancel()
+		if err == nil && c.status != http.StatusNotFound {
+			return c
+		}
+	}
+	return nil
+}
+
 // handleJobByID routes a job poll/cancel to the node that owns the id:
 // with -node-id set, worker job ids are "<node>-j-<n>" and the prefix
 // names the owner; without a prefix match the request fans out until a
-// node answers something other than 404.
+// node answers something other than 404. Polls (GET) of a known owner
+// are hedged: when the owner sits on the request past HedgeDelay, a
+// sweep of the rest of the fleet races it and the first answer wins.
 func (rt *Router) handleJobByID(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	healthy := rt.healthyNodes()
 	if node, pre, ok := strings.Cut(id, "-j-"); ok && pre != "" {
-		for _, n := range rt.healthyNodes() {
+		for _, n := range healthy {
 			if n.id() == node {
-				rt.forward(w, r, []string{n.url}, nil)
+				if r.Method == http.MethodGet && rt.cfg.HedgeDelay > 0 && len(healthy) > 1 {
+					rt.hedgedJobRead(w, r, n, healthy)
+				} else {
+					rt.forward(w, r, []string{n.url}, nil)
+				}
 				return
 			}
 		}
 	}
 	// Unknown or unprefixed id: ask each healthy node in turn.
-	for _, n := range rt.healthyNodes() {
-		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.HealthTimeout)
-		resp, err := rt.send(ctx, n, r, nil)
-		if err == nil && resp.StatusCode != http.StatusNotFound {
-			rt.proxied.With(n.url, "ok").Inc()
-			copyResponse(w, resp)
-			resp.Body.Close()
-			cancel()
-			return
-		}
-		if err == nil {
-			resp.Body.Close()
-		}
-		cancel()
+	if c := rt.sweepJobRead(r.Context(), r, healthy, nil); c != nil {
+		writeCaptured(w, c)
+		return
 	}
 	writeRouterErr(w, http.StatusNotFound, fmt.Errorf("no node owns job %s", id))
+}
+
+// hedgedJobRead races the owner against a sweep of the other nodes.
+// The owner's answer — any status, including 404 — is authoritative;
+// the hedge only helps when the owner is slow or unreachable, and a
+// secondary 404 never pre-empts the owner (the sweep reports it as a
+// miss, so Hedge keeps waiting on the primary).
+func (rt *Router) hedgedJobRead(w http.ResponseWriter, r *http.Request, owner *routerNode, healthy []*routerNode) {
+	primary := func(ctx context.Context) (*captured, error) {
+		return rt.capture(ctx, owner, r)
+	}
+	secondary := func(ctx context.Context) (*captured, error) {
+		if c := rt.sweepJobRead(ctx, r, healthy, owner); c != nil {
+			return c, nil
+		}
+		return nil, fmt.Errorf("cluster: hedge sweep: no other node had the job")
+	}
+	c, err := resilience.Hedge(r.Context(), rt.cfg.HedgeDelay, rt.cfg.Counters, primary, secondary)
+	if err != nil {
+		writeRouterErr(w, http.StatusBadGateway, err)
+		return
+	}
+	writeCaptured(w, c)
 }
 
 // handleJobsFanout merges GET /jobs from every healthy node, tagging
@@ -517,7 +686,7 @@ func (rt *Router) handleJobsFanout(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.HealthTimeout)
 			defer cancel()
-			resp, err := rt.send(ctx, n, r, nil)
+			resp, err := rt.send(ctx, n, r, nil, time.Time{})
 			if err != nil {
 				return
 			}
@@ -556,17 +725,35 @@ func (rt *Router) handleStatsFanout(w http.ResponseWriter, r *http.Request) {
 		go func(n *routerNode) {
 			defer wg.Done()
 			st := nodeStats{Node: n.id(), URL: n.url, Healthy: n.isHealthy()}
-			ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.HealthTimeout)
-			defer cancel()
-			resp, err := rt.send(ctx, n, r, nil)
-			if err == nil {
+			// The per-node fetch is hedged: stats are node-local so no other
+			// node can answer for it, but a second identical probe papers over
+			// a dropped packet or a brownout pause on the first.
+			fetch := func(ctx context.Context) (json.RawMessage, error) {
+				nctx, cancel := context.WithTimeout(ctx, rt.cfg.HealthTimeout)
+				defer cancel()
+				resp, err := rt.send(nctx, n, r, nil, time.Time{})
+				if err != nil {
+					return nil, err
+				}
 				defer resp.Body.Close()
 				blob, rerr := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBody))
-				if rerr == nil && json.Valid(blob) {
-					st.Stats = blob
-				} else {
-					st.Error = "bad stats payload"
+				if rerr != nil {
+					return nil, rerr
 				}
+				if !json.Valid(blob) {
+					return nil, errors.New("bad stats payload")
+				}
+				return blob, nil
+			}
+			var blob json.RawMessage
+			var err error
+			if rt.cfg.HedgeDelay > 0 {
+				blob, err = resilience.Hedge(r.Context(), rt.cfg.HedgeDelay, rt.cfg.Counters, fetch, fetch)
+			} else {
+				blob, err = fetch(r.Context())
+			}
+			if err == nil {
+				st.Stats = blob
 			} else {
 				st.Error = err.Error()
 			}

@@ -2,12 +2,15 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -62,32 +65,67 @@ func (s JobState) Terminal() bool {
 // the process died (or was killed) with the job executing.
 func (s JobState) Interrupted() bool { return s.Status == OpStart }
 
+// ErrStoreReadOnly marks a store poisoned by a failed append: the
+// journal fd and the in-memory state can no longer be trusted to agree,
+// so the store refuses further writes. Reads (Pending, Done, Stats)
+// keep working; /healthz surfaces the condition so the router pulls the
+// node out of the write path.
+var ErrStoreReadOnly = errors.New("cluster: store is read-only (append failed)")
+
 // Store is the persistent job store: an append-only JSONL journal plus
 // an optional snapshot, both under one data dir. Appends are serialized
 // and flushed to the OS before Append returns, so a job acknowledged to
 // a client survives a process crash; Sync additionally fsyncs each
 // append for machine-crash durability at a large latency cost.
+//
+// Journal lines are CRC32C-framed ("%08x\t<json>\n"); unframed legacy
+// lines (bare JSON objects) still replay. A corrupt mid-file record is
+// quarantined to a sidecar and counted, never silently dropped; only a
+// torn final line — the expected crash artifact — is ignored.
 type Store struct {
-	dir  string
-	sync bool
+	dir        string
+	sync       bool
+	writeFault func() error
 
-	mu    sync.Mutex
-	f     *os.File
-	w     *bufio.Writer
-	state map[string]*JobState // logical id → latest state
-	order []string             // submit order, for deterministic replay
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	state    map[string]*JobState // logical id → latest state
+	order    []string             // submit order, for deterministic replay
+	jstats   JournalStats
+	readOnly bool
+	poison   error // first append failure, kept for /healthz and /stats
 }
 
 const (
-	journalName  = "journal.jsonl"
-	snapshotName = "snapshot.json"
+	journalName    = "journal.jsonl"
+	snapshotName   = "snapshot.json"
+	quarantineName = "journal.quarantine.jsonl"
+
+	crcHexLen       = 8
+	journalFrameSep = '\t'
 )
+
+// crcTable is Castagnoli — hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// JournalPath returns the journal file under a store data dir — the
+// chaos harness and offline tooling scan it post-mortem without opening
+// a Store.
+func JournalPath(dir string) string { return filepath.Join(dir, journalName) }
+
+// QuarantineFile returns the corrupt-record sidecar under a store data
+// dir.
+func QuarantineFile(dir string) string { return filepath.Join(dir, quarantineName) }
 
 // StoreOptions tunes OpenStore.
 type StoreOptions struct {
 	// Sync fsyncs the journal on every append. Default off: appends are
 	// flushed to the OS (surviving process death) but not to the platter.
 	Sync bool
+	// WriteFault, when non-nil, runs before each journal write; a non-nil
+	// return is treated as a disk failure. Chaos-test hook.
+	WriteFault func() error
 }
 
 // OpenStore opens (creating if needed) the store under dir, loading the
@@ -98,14 +136,18 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 		return nil, fmt.Errorf("cluster: store dir: %w", err)
 	}
 	s := &Store{
-		dir:   dir,
-		sync:  opts.Sync,
-		state: make(map[string]*JobState),
+		dir:        dir,
+		sync:       opts.Sync,
+		writeFault: opts.WriteFault,
+		state:      make(map[string]*JobState),
 	}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
 	}
 	if err := s.loadJournal(); err != nil {
+		return nil, err
+	}
+	if err := repairTornNewline(filepath.Join(dir, journalName)); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -115,6 +157,40 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	s.f = f
 	s.w = bufio.NewWriter(f)
 	return s, nil
+}
+
+// repairTornNewline terminates a journal whose final line was torn
+// mid-write without its newline. Without the repair, the next append
+// would be glued onto the torn fragment and one *good* record would be
+// lost to the merge — a crash artifact must never corrupt post-crash
+// writes.
+func repairTornNewline(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: open journal for repair: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("cluster: stat journal: %w", err)
+	}
+	if info.Size() == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, info.Size()-1); err != nil {
+		return fmt.Errorf("cluster: read journal tail: %w", err)
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	if _, err := f.WriteAt([]byte{'\n'}, info.Size()); err != nil {
+		return fmt.Errorf("cluster: terminate torn journal line: %w", err)
+	}
+	return nil
 }
 
 func (s *Store) loadSnapshot() error {
@@ -139,34 +215,144 @@ func (s *Store) loadSnapshot() error {
 }
 
 func (s *Store) loadJournal() error {
-	f, err := os.Open(filepath.Join(s.dir, journalName))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
+	var qf *os.File
+	stats, err := ScanJournal(filepath.Join(s.dir, journalName), s.apply, func(line []byte) {
+		// Quarantine the corrupt line for offline forensics. Best effort:
+		// the count is authoritative even if the sidecar write fails.
+		if qf == nil {
+			var qerr error
+			qf, qerr = os.OpenFile(filepath.Join(s.dir, quarantineName),
+				os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if qerr != nil {
+				return
+			}
+		}
+		if _, werr := qf.Write(append(append([]byte(nil), line...), '\n')); werr != nil {
+			return
+		}
+	})
+	if qf != nil {
+		if cerr := qf.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("cluster: close quarantine: %w", cerr)
+		}
 	}
 	if err != nil {
-		return fmt.Errorf("cluster: open journal: %w", err)
+		return err
+	}
+	s.jstats = stats
+	return nil
+}
+
+// JournalStats summarizes one journal scan: how many records replayed,
+// how many were legacy (pre-CRC) frames, how many were corrupt and
+// quarantined, and whether the final line was torn mid-write.
+type JournalStats struct {
+	Records  int  `json:"records"`
+	Legacy   int  `json:"legacy"`
+	Corrupt  int  `json:"corrupt"`
+	TornTail bool `json:"tornTail"`
+}
+
+// ScanJournal streams the journal at path, calling onRecord for each
+// intact record in order and onCorrupt (if non-nil) for each corrupt
+// mid-file line. A corrupt *final* line is a torn tail — the expected
+// artifact of a crash mid-append — and is counted but not passed to
+// onCorrupt. A missing file scans as empty.
+func ScanJournal(path string, onRecord func(Record), onCorrupt func(line []byte)) (JournalStats, error) {
+	var stats JournalStats
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return stats, nil
+	}
+	if err != nil {
+		return stats, fmt.Errorf("cluster: open journal: %w", err)
 	}
 	defer f.Close()
+
+	handle := func(line []byte, last bool) {
+		if len(line) == 0 {
+			return
+		}
+		rec, legacy, err := decodeJournalLine(line)
+		if err != nil {
+			if last {
+				stats.TornTail = true
+				return
+			}
+			stats.Corrupt++
+			if onCorrupt != nil {
+				onCorrupt(line)
+			}
+			return
+		}
+		stats.Records++
+		if legacy {
+			stats.Legacy++
+		}
+		if onRecord != nil {
+			onRecord(rec)
+		}
+	}
+
+	// One-line lookahead: a line is only classified once we know whether
+	// anything follows it, so "torn tail" applies strictly to the final
+	// line and everything earlier is held to the full CRC check.
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var prev []byte
+	havePrev := false
 	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+		if havePrev {
+			handle(prev, false)
 		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn final line is the expected crash artifact: the write
-			// was cut mid-record. Ignore it (the job it described was never
-			// acknowledged) and stop — nothing can follow a torn line.
-			return nil
-		}
-		s.apply(rec)
+		prev = append(prev[:0], sc.Bytes()...)
+		havePrev = true
 	}
 	if err := sc.Err(); err != nil && !errors.Is(err, io.EOF) {
-		return fmt.Errorf("cluster: scan journal: %w", err)
+		return stats, fmt.Errorf("cluster: scan journal: %w", err)
 	}
-	return nil
+	if havePrev {
+		handle(prev, true)
+	}
+	return stats, nil
+}
+
+// frameRecord encodes one journal line: CRC32C of the JSON body in
+// fixed-width hex, a tab, the body, a newline.
+func frameRecord(blob []byte) []byte {
+	frame := make([]byte, 0, crcHexLen+2+len(blob))
+	frame = append(frame, fmt.Sprintf("%08x", crc32.Checksum(blob, crcTable))...)
+	frame = append(frame, journalFrameSep)
+	frame = append(frame, blob...)
+	return append(frame, '\n')
+}
+
+// decodeJournalLine parses one journal line in either framing. Legacy
+// lines (bare JSON, written before CRC framing) are accepted for
+// backward compatibility; framed lines must pass the checksum.
+func decodeJournalLine(line []byte) (rec Record, legacy bool, err error) {
+	if line[0] == '{' {
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return Record{}, true, fmt.Errorf("cluster: bad legacy record: %w", err)
+		}
+		return rec, true, nil
+	}
+	i := bytes.IndexByte(line, journalFrameSep)
+	if i != crcHexLen {
+		return Record{}, false, fmt.Errorf("cluster: bad journal frame (no crc prefix)")
+	}
+	want, err := strconv.ParseUint(string(line[:crcHexLen]), 16, 32)
+	if err != nil {
+		return Record{}, false, fmt.Errorf("cluster: bad journal crc: %w", err)
+	}
+	body := line[i+1:]
+	if got := crc32.Checksum(body, crcTable); got != uint32(want) {
+		return Record{}, false, fmt.Errorf("cluster: journal crc mismatch: have %08x want %08x", got, uint32(want))
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return Record{}, false, fmt.Errorf("cluster: bad journal record: %w", err)
+	}
+	return rec, false, nil
 }
 
 // apply folds one record into the in-memory state map.
@@ -198,8 +384,22 @@ func (s *Store) apply(rec Record) {
 	}
 }
 
+// poisonLocked flips the store read-only after a failed write. The
+// record that failed is NOT applied to memory, so the in-memory state
+// never claims durability the journal doesn't have. Callers hold s.mu.
+func (s *Store) poisonLocked(stage string, cause error) error {
+	s.readOnly = true
+	err := fmt.Errorf("cluster: %s: %v: %w", stage, cause, ErrStoreReadOnly)
+	if s.poison == nil {
+		s.poison = err
+	}
+	return err
+}
+
 // Append journals one record and makes it durable per the store's sync
-// policy before returning.
+// policy before returning. Any write failure poisons the store into
+// read-only mode: the failed record is not applied, and every later
+// Append returns ErrStoreReadOnly.
 func (s *Store) Append(rec Record) error {
 	if rec.TS.IsZero() {
 		rec.TS = time.Now()
@@ -213,19 +413,60 @@ func (s *Store) Append(rec Record) error {
 	if s.w == nil {
 		return fmt.Errorf("cluster: store closed")
 	}
-	if _, err := s.w.Write(append(blob, '\n')); err != nil {
-		return fmt.Errorf("cluster: append: %w", err)
+	if s.readOnly {
+		return fmt.Errorf("cluster: append %s: %w", rec.Op, ErrStoreReadOnly)
+	}
+	if s.writeFault != nil {
+		if err := s.writeFault(); err != nil {
+			return s.poisonLocked("append (injected fault)", err)
+		}
+	}
+	if _, err := s.w.Write(frameRecord(blob)); err != nil {
+		return s.poisonLocked("append", err)
 	}
 	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("cluster: flush: %w", err)
+		return s.poisonLocked("flush", err)
 	}
 	if s.sync {
 		if err := s.f.Sync(); err != nil {
-			return fmt.Errorf("cluster: fsync: %w", err)
+			return s.poisonLocked("fsync", err)
 		}
 	}
 	s.apply(rec)
 	return nil
+}
+
+// ReadOnly reports whether a failed append has poisoned the store.
+func (s *Store) ReadOnly() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readOnly
+}
+
+// StoreStats is the store's observability snapshot, surfaced on /stats
+// and (corrupt count, read-only flag) on /metrics.
+type StoreStats struct {
+	Journal       JournalStats `json:"journal"`
+	ReadOnly      bool         `json:"readOnly"`
+	ReadOnlyCause string       `json:"readOnlyCause,omitempty"`
+	Jobs          int          `json:"jobs"`
+}
+
+// Stats returns the current observability snapshot.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{Journal: s.jstats, ReadOnly: s.readOnly, Jobs: len(s.state)}
+	if s.poison != nil {
+		st.ReadOnlyCause = s.poison.Error()
+	}
+	return st
+}
+
+// QuarantinePath returns the sidecar file corrupt records are copied
+// to. The file exists only if a scan has quarantined at least one line.
+func (s *Store) QuarantinePath() string {
+	return filepath.Join(s.dir, quarantineName)
 }
 
 // Pending returns the non-terminal jobs in submit order — the replay
@@ -256,6 +497,26 @@ func (s *Store) Done() []JobState {
 	return out
 }
 
+// State returns the replayed view of one logical job id.
+func (s *Store) State(id string) (JobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.state[id]
+	if !ok {
+		return JobState{}, false
+	}
+	return *j, true
+}
+
+// IDs returns every tracked logical job id in submit order — the
+// restart path scans them to reserve the id space already journaled, so
+// a fresh process never mints a logical id the journal has seen.
+func (s *Store) IDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
 // Len reports how many logical jobs the store tracks.
 func (s *Store) Len() int {
 	s.mu.Lock()
@@ -266,12 +527,16 @@ func (s *Store) Len() int {
 // Compact writes the current state as a snapshot and truncates the
 // journal — bounding replay time after long uptimes. Terminal cancel
 // and fail entries are dropped (nothing replays them); done results and
-// pending jobs are kept.
+// pending jobs are kept. A poisoned store refuses to compact: the
+// snapshot would capture state the journal never durably held.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.w == nil {
 		return fmt.Errorf("cluster: store closed")
+	}
+	if s.readOnly {
+		return fmt.Errorf("cluster: compact: %w", ErrStoreReadOnly)
 	}
 	var snap struct {
 		Jobs []*JobState `json:"jobs"`

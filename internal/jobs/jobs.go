@@ -70,6 +70,7 @@ type Job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	deadline time.Time // end-to-end budget; zero = none
 	cancel   context.CancelFunc
 	done     chan struct{}
 }
@@ -103,6 +104,9 @@ type Snapshot struct {
 	Created   time.Time
 	Started   time.Time
 	Finished  time.Time
+	// Deadline is the job's end-to-end budget (zero when none): the
+	// instant the submitting client stops caring about the result.
+	Deadline time.Time
 }
 
 // Snapshot copies the job's state under its lock.
@@ -113,6 +117,7 @@ func (j *Job) Snapshot() Snapshot {
 		ID: j.id, Status: j.status, Cached: j.cached, Result: j.result,
 		Attempts: j.attempts, LastErr: j.lastErr, RequestID: j.requestID,
 		Created: j.created, Started: j.started, Finished: j.finished,
+		Deadline: j.deadline,
 	}
 	if j.err != nil {
 		s.Err = j.err.Error()
@@ -251,6 +256,20 @@ func (m *Manager) jobID() string {
 	return fmt.Sprintf("j-%d", m.seq)
 }
 
+// ReserveIDs advances the job-id counter so the next minted id's
+// sequence number is above n. The persistence layer calls this after a
+// journal replay with the highest sequence it has ever journaled:
+// without it a restarted process would restart the counter at 1 and a
+// brand-new job could reuse the logical id of a pre-crash job, silently
+// merging two different jobs' histories in the journal.
+func (m *Manager) ReserveIDs(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > m.seq {
+		m.seq = n
+	}
+}
+
 // WarmCache installs a result directly into the result cache — the
 // replay path of the persistent job store re-publishes journaled
 // results through it, so a request that duplicates pre-restart work is
@@ -279,6 +298,12 @@ type SubmitOpts struct {
 	// with the result cache this makes identical work run at most once,
 	// whether the duplicates arrive before, during, or after the first.
 	Coalesce bool
+	// Deadline, when non-zero, is the job's end-to-end budget. A job
+	// whose deadline passes while it is still queued is cancelled instead
+	// of run (the client already gave up — running it would orphan work),
+	// and a running job's context carries the deadline so fn stops at the
+	// budget's edge rather than the pool's JobTimeout.
+	Deadline time.Time
 }
 
 // Submit enqueues fn. It never blocks: when the pending queue is full it
@@ -332,6 +357,7 @@ func (m *Manager) SubmitCoalesced(fn Func, opts SubmitOpts) (*Job, bool, error) 
 		requestID: opts.RequestID,
 		status:    StatusQueued,
 		created:   time.Now(),
+		deadline:  opts.Deadline,
 		done:      make(chan struct{}),
 	}
 	select {
@@ -476,9 +502,23 @@ func (m *Manager) run(j *Job) {
 		j.mu.Unlock()
 		return
 	}
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		// The budget expired while the job sat in the queue: the client is
+		// gone, so cancel instead of running — an expired job that still
+		// executes is exactly the orphaned work a deadline exists to stop.
+		j.mu.Unlock()
+		j.finish(StatusCancelled, nil, fmt.Errorf("jobs: deadline budget exhausted before start: %w", context.DeadlineExceeded))
+		m.unflight(j)
+		return
+	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	if m.cfg.JobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(m.baseCtx, m.cfg.JobTimeout)
+	}
+	if !j.deadline.IsZero() {
+		dctx, dcancel := context.WithDeadline(ctx, j.deadline)
+		inner := cancel
+		ctx, cancel = dctx, func() { dcancel(); inner() }
 	}
 	j.status = StatusRunning
 	j.started = time.Now()

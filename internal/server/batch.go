@@ -94,8 +94,9 @@ func (s *Server) handleDesignBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		// Coalescing forced on, exactly like jobs.SubmitBatch; routing
 		// through submitDesignJob keeps batch items journaled when the
-		// persistent store is enabled.
-		j, shared, err := s.submitDesignJob(sp, req.Items[i], requestID, true)
+		// persistent store is enabled. The whole batch shares the
+		// request's X-Deadline-Ms budget.
+		j, shared, err := s.submitDesignJob(sp, req.Items[i], requestID, true, deadlineOf(r))
 		entries = append(entries, jobs.BatchEntry{Job: j, Coalesced: shared, Err: err})
 		idxOf = append(idxOf, i)
 	}

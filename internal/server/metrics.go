@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"artisan/internal/cluster"
 	"artisan/internal/resilience"
 	"artisan/internal/telemetry"
 )
@@ -131,6 +132,28 @@ func (s *Server) initTelemetry(o Options) {
 		func() float64 { return float64(s.breaker.State()) })
 
 	telemetry.RegisterRuntime(s.reg)
+}
+
+// initStoreMetrics registers the persistent store's integrity
+// instruments: the corrupt-record counter the acceptance runbook keys
+// on, the torn-tail flag, and the read-only poison gauge. Called from
+// NewServer once the store exists (after initTelemetry — the store is
+// opened later in construction).
+func (s *Server) initStoreMetrics(store *cluster.Store) {
+	s.reg.CounterFunc("artisan_store_corrupt_total",
+		"Journal records that failed their CRC check and were quarantined during replay.",
+		func() float64 { return float64(store.Stats().Journal.Corrupt) })
+	s.reg.GaugeFunc("artisan_store_readonly",
+		"1 when a failed append has poisoned the store into read-only mode.",
+		func() float64 {
+			if store.ReadOnly() {
+				return 1
+			}
+			return 0
+		})
+	s.reg.GaugeFunc("artisan_store_jobs",
+		"Logical jobs tracked by the persistent store.",
+		func() float64 { return float64(store.Len()) })
 }
 
 // Registry exposes the server's metric registry — cmd/artisan-server

@@ -1,0 +1,106 @@
+package server
+
+// Read-only poisoning through the public API: a journal write failure
+// must turn into a 503 on the submission, flip /healthz to 503 with the
+// "store-read-only" cause (so the router sheds the node), surface on
+// /stats and /metrics — and the rejected submission must not execute as
+// a ghost.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"artisan/internal/jobs"
+)
+
+func TestStoreWriteFaultPoisonsNode(t *testing.T) {
+	var fail atomic.Bool
+	s, err := NewServer(Options{
+		Workers: 1,
+		DataDir: t.TempDir(),
+		NodeID:  "n1",
+		StoreWriteFault: func() error {
+			if fail.Load() {
+				return errors.New("injected disk fault")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Shutdown(context.Background()) }()
+
+	// Healthy path first: submissions journal and /healthz is 200.
+	rec, body := doJSON(t, s, "POST", "/jobs", map[string]string{"group": "G-1"})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit before fault = %d: %s", rec.Code, body)
+	}
+	if rec, _ := doJSON(t, s, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Fatalf("healthz before fault = %d", rec.Code)
+	}
+
+	fail.Store(true)
+	rec, body = doJSON(t, s, "POST", "/jobs", map[string]string{"group": "G-2"})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit with dead disk = %d: %s, want 503", rec.Code, body)
+	}
+
+	// The node takes itself out of the fleet.
+	rec, body = doJSON(t, s, "GET", "/healthz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after poison = %d, want 503", rec.Code)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "store-read-only" {
+		t.Fatalf("healthz status = %q, want store-read-only", health.Status)
+	}
+
+	// /stats carries the cause; /metrics flips the gauge.
+	_, statsBody := doJSON(t, s, "GET", "/stats", nil)
+	var stats struct {
+		Store struct {
+			ReadOnly      bool   `json:"readOnly"`
+			ReadOnlyCause string `json:"readOnlyCause"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(statsBody, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Store.ReadOnly || !strings.Contains(stats.Store.ReadOnlyCause, "injected disk fault") {
+		t.Fatalf("stats store = %+v, want read-only with cause", stats.Store)
+	}
+	rec, metricsBody := doJSON(t, s, "GET", "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	if !strings.Contains(string(metricsBody), "artisan_store_readonly 1") {
+		t.Fatal("metrics missing artisan_store_readonly 1 after poison")
+	}
+
+	// Ghost-cancel: the 503'd submission must not keep burning a worker —
+	// the job the manager briefly held is cancelled, and the node drains
+	// to zero queued/running.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		counts := s.Jobs().Counts()
+		if counts[jobs.StatusQueued] == 0 && counts[jobs.StatusRunning] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node never drained after poisoned submit: %v", counts)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

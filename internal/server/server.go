@@ -102,6 +102,10 @@ type Options struct {
 	// instant). Used by loadgen's fleet mode to measure horizontal
 	// scaling under the latency-bound regime real LLM serving lives in.
 	ModelLatency time.Duration
+	// StoreWriteFault, when non-nil, is injected into the persistent
+	// store as a simulated disk failure (see cluster.StoreOptions
+	// .WriteFault). Chaos-test hook; nil in production.
+	StoreWriteFault func() error
 }
 
 // Server holds the service configuration.
@@ -222,10 +226,17 @@ func NewServer(o Options) (*Server, error) {
 		})
 	}
 	if o.DataDir != "" {
-		store, err := cluster.OpenStore(o.DataDir, cluster.StoreOptions{Sync: o.StoreSync})
+		store, err := cluster.OpenStore(o.DataDir, cluster.StoreOptions{
+			Sync: o.StoreSync, WriteFault: o.StoreWriteFault,
+		})
 		if err != nil {
 			return nil, err
 		}
+		// Reserve the id space the journal already holds: a restarted
+		// process otherwise restarts the manager's counter at 1 and a new
+		// job can mint a logical id the journal has already seen, merging
+		// two unrelated jobs' histories.
+		s.jobs.ReserveIDs(maxJobSeq(store.IDs()))
 		s.persist = cluster.NewPersistentManager(s.jobs, store)
 		s.persist.Register("design", cluster.Executor{
 			Run:    s.runPersistedDesign,
@@ -235,6 +246,7 @@ func NewServer(o Options) (*Server, error) {
 			_ = store.Close()
 			return nil, fmt.Errorf("server: journal replay: %w", err)
 		}
+		s.initStoreMetrics(store)
 	}
 	s.handle("GET /healthz", http.HandlerFunc(s.handleHealth))
 	s.handle("GET /stats", http.HandlerFunc(s.handleStats))
@@ -275,6 +287,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	return err
+}
+
+// Persist exposes the persistent manager (nil without Options.DataDir).
+// The chaos harness reaches through it to crash-close a node's journal
+// before the pool drains — making a "kill" drop un-flushed terminal
+// records the way a real process death would.
+func (s *Server) Persist() *cluster.PersistentManager { return s.persist }
+
+// Jobs exposes the job manager for fleet introspection in tests.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// maxJobSeq extracts the highest numeric suffix among journaled job ids
+// ("<node>-j-<n>" or "j-<n>"); 0 when none parse.
+func maxJobSeq(ids []string) int64 {
+	var max int64
+	for _, id := range ids {
+		i := strings.LastIndex(id, "j-")
+		if i < 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(id[i+2:], 10, 64)
+		if err == nil && n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -325,8 +363,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	writeJSON(w, status, map[string]any{
-		"status":       state,
+	out := map[string]any{
 		"node":         s.opts.NodeID,
 		"jobs":         s.jobs.Counts(),
 		"queueDepth":   s.jobs.QueueDepth(),
@@ -334,7 +371,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"coalesceHits": s.jobs.CoalesceHits(),
 		"breaker":      s.breaker.State().String(),
 		"resilience":   s.counters.Snapshot(),
-	})
+	}
+	if s.persist != nil {
+		st := s.persist.Store().Stats()
+		out["store"] = st
+		if st.ReadOnly && status == http.StatusOK {
+			// A poisoned store cannot durably accept work: report not-ready
+			// so the router routes submissions to nodes that can.
+			status = http.StatusServiceUnavailable
+			state = "store-read-only"
+		}
+	}
+	out["status"] = state
+	writeJSON(w, status, out)
 }
 
 // handleStats surfaces the service-wide resilience counters, breaker
@@ -377,6 +426,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"resubmitted":   resubmitted,
 			"journalJobs":   s.persist.Store().Len(),
 		}
+		// Journal integrity: corrupt (quarantined) record count, legacy
+		// frames, torn tail, and the read-only poison flag.
+		out["store"] = s.persist.Store().Stats()
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -711,6 +763,11 @@ func (s *Server) designFunc(sp spec.Spec, req DesignRequest, requestID string) j
 type persistedDesign struct {
 	Req       DesignRequest `json:"req"`
 	RequestID string        `json:"requestID,omitempty"`
+	// DeadlineUnixMs is the submitting client's end-to-end budget as a
+	// wall-clock instant (0 = none). Journaled so a replay after a crash
+	// still honours it: a job whose client gave up mid-outage is
+	// cancelled on resume, not re-executed into the void.
+	DeadlineUnixMs int64 `json:"deadlineUnixMs,omitempty"`
 }
 
 // runPersistedDesign is the "design" executor behind the persistent job
@@ -721,6 +778,12 @@ func (s *Server) runPersistedDesign(ctx context.Context, payload json.RawMessage
 	var pd persistedDesign
 	if err := json.Unmarshal(payload, &pd); err != nil {
 		return nil, fmt.Errorf("server: corrupt persisted design: %w", err)
+	}
+	if pd.DeadlineUnixMs > 0 && time.Now().UnixMilli() >= pd.DeadlineUnixMs {
+		// The budget expired (typically across a crash/replay gap): the
+		// wrapped context.Canceled classifies the job as cancelled, the
+		// same terminal state an expired queued job gets.
+		return nil, fmt.Errorf("server: deadline budget exhausted before replayed run: %w", context.Canceled)
 	}
 	sp, err := s.parseDesignRequest(&pd.Req)
 	if err != nil {
@@ -739,12 +802,30 @@ func decodePersistedDesign(raw json.RawMessage) (any, error) {
 	return &resp, nil
 }
 
+// deadlineOf resolves a request's X-Deadline-Ms end-to-end budget into
+// a wall-clock deadline; zero when absent or malformed (the header is
+// advisory — garbage must not 400 a proxied request).
+func deadlineOf(r *http.Request) time.Time {
+	ms, err := strconv.ParseInt(strings.TrimSpace(r.Header.Get(cluster.DeadlineHeader)), 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(time.Duration(ms) * time.Millisecond)
+}
+
 // submitDesignJob enqueues one parsed design request, through the
 // persistent store when enabled.
-func (s *Server) submitDesignJob(sp spec.Spec, req DesignRequest, requestID string, coalesce bool) (*jobs.Job, bool, error) {
-	opts := jobs.SubmitOpts{Key: designKey(sp, req), RequestID: requestID, Coalesce: coalesce}
+func (s *Server) submitDesignJob(sp spec.Spec, req DesignRequest, requestID string, coalesce bool, deadline time.Time) (*jobs.Job, bool, error) {
+	opts := jobs.SubmitOpts{
+		Key: designKey(sp, req), RequestID: requestID,
+		Coalesce: coalesce, Deadline: deadline,
+	}
 	if s.persist != nil {
-		payload, err := json.Marshal(persistedDesign{Req: req, RequestID: requestID})
+		pd := persistedDesign{Req: req, RequestID: requestID}
+		if !deadline.IsZero() {
+			pd.DeadlineUnixMs = deadline.UnixMilli()
+		}
+		payload, err := json.Marshal(pd)
 		if err != nil {
 			return nil, false, err
 		}
@@ -770,13 +851,21 @@ func (s *Server) submitDesign(w http.ResponseWriter, r *http.Request) (*jobs.Job
 		return nil, false
 	}
 	requestID := telemetry.RequestIDOf(r.Context())
-	j, _, err := s.submitDesignJob(sp, req, requestID, false)
+	j, _, err := s.submitDesignJob(sp, req, requestID, false, deadlineOf(r))
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		release()
 		s.writeShed(w, http.StatusServiceUnavailable, 0, err)
 		return nil, false
 	case errors.Is(err, jobs.ErrShutdown):
+		release()
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return nil, false
+	case errors.Is(err, cluster.ErrStoreReadOnly):
+		// The journal cannot durably record the submission; refuse rather
+		// than accept work that a crash would silently lose. /healthz is
+		// already reporting the poisoned store, so the router will stop
+		// sending submissions here.
 		release()
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return nil, false
@@ -836,7 +925,10 @@ type jobJSON struct {
 	Created   string `json:"created"`
 	Started   string `json:"started,omitempty"`
 	Finished  string `json:"finished,omitempty"`
-	Result    any    `json:"result,omitempty"`
+	// Deadline is the job's end-to-end budget (X-Deadline-Ms at submit),
+	// surfaced so an operator can see which queued work is already dead.
+	Deadline string `json:"deadline,omitempty"`
+	Result   any    `json:"result,omitempty"`
 }
 
 func toJobJSON(s jobs.Snapshot, includeResult bool) jobJSON {
@@ -844,6 +936,9 @@ func toJobJSON(s jobs.Snapshot, includeResult bool) jobJSON {
 		ID: s.ID, Status: string(s.Status), Cached: s.Cached, Error: s.Err,
 		Attempts: s.Attempts, LastErr: s.LastErr, RequestID: s.RequestID,
 		Created: s.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if !s.Deadline.IsZero() {
+		out.Deadline = s.Deadline.UTC().Format(time.RFC3339Nano)
 	}
 	if !s.Started.IsZero() {
 		out.Started = s.Started.UTC().Format(time.RFC3339Nano)

@@ -23,14 +23,22 @@ go run ./cmd/loadgen -mode fleet -nodes 2 -n 60 -dup 0.5 -concurrency 8 \
 # be deterministic — -count=2 re-runs them to catch order dependence.
 go test ./internal/resilience/... -race -count=2
 
+# Fleet chaos smoke: a 3-node fleet under the seeded kill/restart/
+# partition/brownout script, with the invariant checkers over the merged
+# end state. -count=2 proves the scenario replays identically. The long
+# soak profile runs via `make chaos` (ARTISAN_CHAOS_LONG=1).
+go test ./internal/chaos -race -count=2
+
 # Fuzz smoke: 10 s of coverage-guided input generation per target over
-# the two parsers that face raw request bytes (SPICE netlists and spec
-# JSON), seeded from the checked-in corpus under testdata/fuzz/. Crashers
-# land in testdata/fuzz/<Target>/ and fail this gate until fixed.
+# the parsers that face raw bytes (SPICE netlists, spec JSON, and the
+# journal replay path), seeded from the checked-in corpus under
+# testdata/fuzz/. Crashers land in testdata/fuzz/<Target>/ and fail this
+# gate until fixed.
 for target in \
     'FuzzParse ./internal/netlist' \
     'FuzzDeviceLineRoundTrip ./internal/netlist' \
-    'FuzzSpecJSON ./internal/spec'; do
+    'FuzzSpecJSON ./internal/spec' \
+    'FuzzJournalReplay ./internal/cluster'; do
     set -- $target
     go test -run '^$' -fuzz "^$1\$" -fuzztime 10s "$2"
 done
