@@ -14,11 +14,13 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages must stay race-clean. mna/measure are
-# here for the parallel sweep and the shared workspace pool.
+# here for the parallel sweep and the shared workspace pool;
+# backend/gmid/opt for the parallel sizing-backend sweep.
 race:
 	$(GO) test -race ./internal/jobs ./internal/server ./internal/experiment \
 		./internal/resilience ./internal/agents ./internal/telemetry \
-		./internal/mna ./internal/measure ./internal/sizing
+		./internal/mna ./internal/measure ./internal/sizing ./internal/cluster \
+		./internal/backend ./internal/gmid ./internal/opt
 
 # Chaos: the deterministic fault-injection suite run twice, then the
 # fleet chaos harness's long profile — a bigger fleet under a denser
@@ -33,4 +35,4 @@ check: vet build test race chaos
 # bench records (name, ns/op, allocs/op) as JSON for cross-PR comparison
 # and fails on a >20% hot-path regression vs the previous PR's baseline.
 bench:
-	scripts/bench.sh BENCH_pr5.json BENCH_pr4.json
+	scripts/bench.sh BENCH_pr8.json BENCH_pr4.json

@@ -493,6 +493,28 @@ func BenchmarkTwoStageWorkflow(b *testing.B) {
 	b.ReportMetric(float64(succ)/float64(b.N), "success")
 }
 
+// BenchmarkBackendComparison runs the head-to-head sizing-backend sweep
+// on G-1 (all four registered backends recovering the same detuned
+// design) and reports the hybrid backend's evals-to-spec advantage over
+// plain BO — the multiplier behind the backend subsystem's acceptance
+// bar. The name deliberately does not match the bench.sh hot-path
+// regex: it is recorded for cross-PR comparison, never gated on ns/op.
+func BenchmarkBackendComparison(b *testing.B) {
+	cfg := experiment.DefaultBackendConfig(42)
+	cfg.Trials = 2
+	cfg.Budget = 60
+	cfg.Groups = []string{"G-1"}
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		table, err := experiment.RunBackends(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv = table.EvalAdvantage("hybrid", "bo", "G-1")
+	}
+	b.ReportMetric(adv, "hybridEvalAdvantage")
+}
+
 // BenchmarkAblationBudgetCurve traces the GA baseline's success rate as
 // its simulation budget grows — the convergence-style experiment that
 // locates how much search a black-box method needs to start competing.

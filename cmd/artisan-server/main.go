@@ -41,9 +41,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"artisan/internal/backend"
 	"artisan/internal/server"
 	"artisan/internal/telemetry"
 )
@@ -69,6 +71,8 @@ func main() {
 		tenRate   = flag.Float64("tenant-rate", 0, "per-tenant admitted design items/sec (0 = admission off)")
 		tenBurst  = flag.Float64("tenant-burst", 0, "per-tenant token-bucket burst (default 2x rate)")
 		modelLat  = flag.Duration("model-latency", 0, "modeled remote designer-LLM latency per design run (0 = off)")
+		sizingBk  = flag.String("sizing-backend", "",
+			"default sizing backend for tuned designs, one of "+strings.Join(backend.Names(), "|")+" (empty = "+backend.DefaultName+")")
 	)
 	flag.Parse()
 
@@ -87,7 +91,8 @@ func main() {
 		AccessLog: logger,
 		NodeID:    *nodeID, DataDir: *dataDir, StoreSync: *storeSync,
 		TenantRate: *tenRate, TenantBurst: *tenBurst,
-		ModelLatency: *modelLat,
+		ModelLatency:  *modelLat,
+		SizingBackend: *sizingBk,
 	})
 	if err != nil {
 		log.Fatal(err)

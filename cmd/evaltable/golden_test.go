@@ -53,6 +53,45 @@ func TestEvaltableGoldenParallel(t *testing.T) {
 	compareGolden(t, "table3.golden", renderReport(t3, false, []string{"G-1", "G-5"}))
 }
 
+// backendGoldenCfg pins the -backends mode on the first and last spec
+// groups: every number in the table is a deterministic function of the
+// seed, so the exact bytes are a regression surface for all four
+// registered backends at once.
+func backendGoldenCfg() experiment.BackendConfig {
+	cfg := experiment.DefaultBackendConfig(42)
+	cfg.Trials = 2
+	cfg.Budget = 60
+	cfg.Groups = []string{"G-1", "G-5"}
+	return cfg
+}
+
+func TestBackendsGolden(t *testing.T) {
+	table, err := experiment.RunBackends(backendGoldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "backends.golden", renderBackendReport(table))
+}
+
+// The parallel backend sweep must render the identical report, and a
+// repeated run must reproduce it byte for byte.
+func TestBackendsGoldenDeterministic(t *testing.T) {
+	cfg := backendGoldenCfg()
+	cfg.Workers = 4
+	table, err := experiment.RunBackends(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "backends.golden", renderBackendReport(table))
+	again, err := experiment.RunBackends(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderBackendReport(table) != renderBackendReport(again) {
+		t.Error("repeated -backends run is nondeterministic")
+	}
+}
+
 func compareGolden(t *testing.T, name, got string) {
 	t.Helper()
 	path := filepath.Join("testdata", name)

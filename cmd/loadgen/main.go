@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"artisan/internal/backend"
 	"artisan/internal/cluster"
 	"artisan/internal/server"
 	"artisan/internal/spec"
@@ -68,12 +69,18 @@ type config struct {
 	nodeWorkers  int
 	modelLatency time.Duration
 	profile      string
+	// backend, when set, turns the mix into tuned design requests routed
+	// through the named sizing backend — the load profile of a fleet
+	// serving optimization-heavy traffic.
+	backend string
 }
 
 // workItem is one design request of the generated mix.
 type workItem struct {
-	Group string `json:"group"`
-	Seed  int64  `json:"seed"`
+	Group   string `json:"group"`
+	Seed    int64  `json:"seed"`
+	Tune    bool   `json:"tune,omitempty"`
+	Backend string `json:"backend,omitempty"`
 }
 
 // phaseResult is one BENCH-style JSON entry. The names deliberately do
@@ -120,13 +127,15 @@ func main() {
 		nodeWorkers = flag.Int("node-workers", 4, "fleet mode: worker pool size per node")
 		modelLat    = flag.Duration("model-latency", 100*time.Millisecond, "fleet mode: modeled remote designer-LLM latency per design run")
 		profile     = flag.String("profile", "", "workload preset: '' or 'soak' (long duplicate-heavy fleet run)")
+		backendFlag = flag.String("backend", "",
+			"route the mix as tuned designs through this sizing backend, one of "+strings.Join(backend.Names(), "|")+" (empty = untuned mix)")
 	)
 	flag.Parse()
 	cfg := config{
 		mode: *mode, n: *n, batch: *batch, dup: *dup, concurrency: *concurrency,
 		seed: *seed, url: *url, out: *out, workers: *workers, repeat: *repeat,
 		nodes: *nodes, nodeWorkers: *nodeWorkers, modelLatency: *modelLat,
-		profile: *profile,
+		profile: *profile, backend: *backendFlag,
 	}
 	if *groupsFlag != "" {
 		cfg.groups = strings.Split(*groupsFlag, ",")
@@ -178,6 +187,11 @@ func run(cfg config, w io.Writer) ([]phaseResult, error) {
 	}
 	if cfg.dup < 0 || cfg.dup > 1 {
 		return nil, fmt.Errorf("-dup must be in [0,1]")
+	}
+	if cfg.backend != "" {
+		if _, err := backend.Get(cfg.backend); err != nil {
+			return nil, err
+		}
 	}
 	if len(cfg.groups) == 0 {
 		for _, g := range spec.Groups() {
@@ -400,8 +414,10 @@ func makeWorkload(cfg config) ([]workItem, int) {
 	items := make([]workItem, 0, cfg.n)
 	for i := 0; i < unique; i++ {
 		items = append(items, workItem{
-			Group: cfg.groups[i%len(cfg.groups)],
-			Seed:  cfg.seed*1_000_000 + int64(i),
+			Group:   cfg.groups[i%len(cfg.groups)],
+			Seed:    cfg.seed*1_000_000 + int64(i),
+			Tune:    cfg.backend != "",
+			Backend: cfg.backend,
 		})
 	}
 	for len(items) < cfg.n {

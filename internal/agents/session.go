@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"artisan/internal/backend"
 	"artisan/internal/design"
 	"artisan/internal/llm"
 	"artisan/internal/measure"
@@ -25,6 +26,10 @@ type Options struct {
 	MaxModifications int
 	// Tune enables the BO parameter-tuning tool as a last resort.
 	Tune bool
+	// SizingBackend selects the sizing backend used when Tune fires
+	// ("bo", "ga", "whitebox", "hybrid"). Empty keeps the legacy direct
+	// BO path.
+	SizingBackend string
 }
 
 // DefaultOptions reproduces the paper's flow: one architecture, one
@@ -72,6 +77,13 @@ type Outcome struct {
 	// Resilience snapshots the session's fault-tolerance counters
 	// (zero-valued when no ladder was configured).
 	Resilience resilience.Snapshot
+	// SizingBackend names the sizing backend that actually ran when the
+	// tuner fired (after any ladder degradation); empty when the tuner
+	// was not invoked or used the legacy path.
+	SizingBackend string
+	// SizingEvals counts the simulator evaluations the sizing backend
+	// consumed.
+	SizingEvals int
 }
 
 // FoM returns the achieved figure of merit under the session spec.
@@ -98,8 +110,10 @@ type Session struct {
 // rephrasing.
 func NewSession(m llm.DesignerModel, sp spec.Spec, opts Options) *Session {
 	sim := NewSimulator()
+	t := NewTuner(sim, 1)
+	t.Backend = opts.SizingBackend
 	return &Session{Designer: m, Prompter: NewPrompter(1, 0), Spec: sp, Opts: opts,
-		Sim: sim, Tuner: NewTuner(sim, 1)}
+		Sim: sim, Tuner: t}
 }
 
 // counters returns the session's resilience counters, allocating them on
@@ -310,10 +324,23 @@ func (s *Session) Run(ctx context.Context) (*Outcome, error) {
 		}
 	}
 
-	// --- Last resort: the BO parameter-tuning tool ---
+	// --- Last resort: the parameter-tuning tool ---
 	if !best.ok && s.Opts.Tune && best.res != nil && ctx.Err() == nil {
-		tr.Add(RoleTool, "[tuner] invoking Bayesian-optimization parameter tuning")
-		tuned, rep, score, err := s.tune(ctx, best.res.Topo)
+		if s.Tuner.Backend != "" {
+			tr.Add(RoleTool, fmt.Sprintf("[tuner] invoking %s sizing backend", s.Tuner.Backend))
+		} else {
+			tr.Add(RoleTool, "[tuner] invoking Bayesian-optimization parameter tuning")
+		}
+		// Record ladder degradation in the transcript, mirroring the
+		// fallback-model resilience pattern.
+		s.Tuner.OnDegrade = func(from, to string, err error) {
+			tr.Add(RoleTool, fmt.Sprintf("[resilience] sizing backend %s degraded to fallback %s: %v", from, to, err))
+		}
+		tuned, rep, score, bres, err := s.tune(ctx, best.res.Topo)
+		if bres != nil {
+			out.SizingBackend = bres.Backend
+			out.SizingEvals = bres.Evals
+		}
 		if err == nil {
 			tr.ToolCall("tuner", "tune "+best.arch, rep.String())
 			if s.Spec.Satisfied(rep) || score > Score(s.Spec, best.rep) {
@@ -424,23 +451,34 @@ func (s *Session) proposeModification(ctx context.Context, failure string) (llm.
 	return mod, err
 }
 
-// tune runs the BO sizer through the breaker so a broken simulator
-// backend opens the circuit instead of burning the tuning budget.
-func (s *Session) tune(ctx context.Context, topo *topology.Topology) (*topology.Topology, measure.Report, float64, error) {
+// tune runs the sizer through the breaker so a broken simulator backend
+// opens the circuit instead of burning the tuning budget. With a
+// configured sizing backend the run routes through the backend registry
+// (TuneWith) and reports which backend produced the result; the legacy
+// direct-BO path is preserved bit-for-bit when no backend is set.
+func (s *Session) tune(ctx context.Context, topo *topology.Topology) (*topology.Topology, measure.Report, float64, *backend.Result, error) {
+	run := func(ctx context.Context) (*topology.Topology, measure.Report, float64, *backend.Result, error) {
+		if s.Tuner.Backend == "" {
+			tuned, rep, score, err := s.Tuner.Tune(ctx, topo, s.Spec)
+			return tuned, rep, score, nil, err
+		}
+		return s.Tuner.TuneWith(ctx, topo, s.Spec)
+	}
 	if s.Res == nil || s.Res.Breaker == nil {
-		return s.Tuner.Tune(ctx, topo, s.Spec)
+		return run(ctx)
 	}
 	var (
 		tuned *topology.Topology
 		rep   measure.Report
 		score float64
+		bres  *backend.Result
 	)
 	err := s.Res.Breaker.Do(ctx, "sizer", func(ctx context.Context) error {
 		var err error
-		tuned, rep, score, err = s.Tuner.Tune(ctx, topo, s.Spec)
+		tuned, rep, score, bres, err = run(ctx)
 		return err
 	})
-	return tuned, rep, score, err
+	return tuned, rep, score, bres, err
 }
 
 func knownArch(name string) bool {

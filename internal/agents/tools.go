@@ -14,6 +14,7 @@ import (
 	"math"
 	"strings"
 
+	"artisan/internal/backend"
 	"artisan/internal/calc"
 	"artisan/internal/measure"
 	"artisan/internal/netlist"
@@ -139,6 +140,15 @@ func (s *Simulator) MeasureTopology(ctx context.Context, topo *topology.Topology
 type Tuner struct {
 	Sim    *Simulator
 	Budget sizing.Options
+	// Backend selects the sizing backend by registry name ("bo", "ga",
+	// "whitebox", "hybrid"). Empty means the legacy direct BO path of
+	// Tune; any other value routes TuneWith through the backend registry
+	// with its degradation ladder.
+	Backend string
+	// OnDegrade, when non-nil, observes each degradation hop of the
+	// backend ladder (sessions record it in the transcript, mirroring
+	// the fallback-model resilience pattern).
+	OnDegrade func(from, to string, err error)
 }
 
 // NewTuner returns the tuning tool sharing the session simulator (so its
@@ -161,29 +171,10 @@ func (t *Tuner) Invoke(ctx context.Context, input string) (string, error) {
 }
 
 // Score is the constrained objective: the FoM when every spec is met,
-// otherwise the negative sum of relative violations (so the optimizer
-// first drives violations to zero, then maximizes FoM).
+// otherwise the negative sum of relative violations. It delegates to
+// spec.Score, the canonical definition shared with the sizing backends.
 func Score(sp spec.Spec, rep measure.Report) float64 {
-	vs := sp.Check(rep)
-	if len(vs) == 0 {
-		return sp.FoMOf(rep)
-	}
-	pen := 0.0
-	for _, v := range vs {
-		switch v.Metric {
-		case "Power(W)":
-			pen += (v.Got - v.Limit) / v.Limit
-		case "Stability":
-			pen += 10
-		default:
-			if v.Got <= 0 {
-				pen += 10
-			} else {
-				pen += (v.Limit - v.Got) / v.Limit
-			}
-		}
-	}
-	return -pen
+	return spec.Score(sp, rep)
 }
 
 // Tune optimizes the topology's continuous parameters in log space within
@@ -257,6 +248,41 @@ func (t *Tuner) Tune(ctx context.Context, topo *topology.Topology, sp spec.Spec)
 		return nil, measure.Report{}, 0, err
 	}
 	return best, rep, res.BestY, nil
+}
+
+// TuneWith runs the configured sizing backend (Backend, defaulting to
+// plain BO) over the topology's parameter space, degrading down the
+// backend ladder on failure. It returns the backend result alongside
+// the tuned topology so callers can record which backend won and how
+// many evaluations it spent.
+func (t *Tuner) TuneWith(ctx context.Context, topo *topology.Topology, sp spec.Spec) (*topology.Topology, measure.Report, float64, *backend.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, measure.Report{}, 0, nil, err
+	}
+	ctx, span := telemetry.StartSpan(ctx, "tool.tuner")
+	defer span.End()
+	name := t.Backend
+	if name == "" {
+		name = backend.DefaultName
+	}
+	span.SetAttr("backend", name)
+	p := backend.Problem{
+		Spec: sp, Topo: topo,
+		// The backend budget matches the legacy BO spend: init samples
+		// plus iterations plus the final re-measure.
+		Budget: t.Budget.InitSamples + t.Budget.Iterations + 2,
+		Eval: func(ctx context.Context, tp *topology.Topology) (measure.Report, error) {
+			// Routing through the session simulator keeps the evaluations
+			// counted (and fault-injected) exactly like every other
+			// measurement.
+			return t.Sim.MeasureTopology(ctx, tp, sp)
+		},
+	}
+	res, err := backend.SizeLadder(ctx, name, p, t.Budget.Seed, t.OnDegrade)
+	if err != nil {
+		return nil, measure.Report{}, 0, res, err
+	}
+	return res.Topo, res.Report, res.Score, res, nil
 }
 
 // describeFailure renders spec violations as the natural-language failure

@@ -1,0 +1,214 @@
+// Package backend defines the pluggable sizing subsystem: a common
+// SizingBackend interface over the repository's parameter optimizers —
+// the GP/BO loop (internal/sizing), a real-coded GA (internal/opt), an
+// analytic white-box gm/Id engine, and a hybrid that seeds BO with the
+// white-box operating point. The White-Box Reasoning line of work
+// (PAPERS.md) motivates the split: an analytic first guess plus local
+// refinement reaches spec-satisfying designs in a fraction of the
+// simulator evaluations a pure black-box search needs, and a shared
+// interface is what lets the agent loop, the server, and the evaluation
+// harness compare them head to head.
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"artisan/internal/measure"
+	"artisan/internal/spec"
+	"artisan/internal/topology"
+)
+
+// Problem is one sizing task: a fixed topology whose continuous
+// parameters (stage and connection gm/C/R values) are tuned against a
+// spec under a hard evaluation budget. Eval measures one candidate; it
+// is supplied by the caller so the backend inherits whatever simulator
+// wrapper (invocation counting, fault injection, tracing) the caller
+// runs — the backends never import the agent loop.
+type Problem struct {
+	Spec   spec.Spec
+	Topo   *topology.Topology
+	Eval   func(ctx context.Context, tp *topology.Topology) (measure.Report, error)
+	Budget int // maximum Eval calls
+}
+
+func (p Problem) validate() error {
+	if p.Topo == nil {
+		return errors.New("backend: nil topology")
+	}
+	if p.Eval == nil {
+		return errors.New("backend: nil evaluator")
+	}
+	if p.Budget < 10 {
+		return fmt.Errorf("backend: budget %d too small (need >= 10)", p.Budget)
+	}
+	return nil
+}
+
+// Result is the outcome of one backend run.
+type Result struct {
+	Backend string // name of the backend that produced the result
+	Topo    *topology.Topology
+	Report  measure.Report
+	Score   float64
+	Success bool // best candidate satisfies the spec
+	Evals   int  // simulator evaluations consumed
+	// EvalsToSuccess is the evaluation index (1-based) at which the
+	// first spec-satisfying candidate appeared; 0 if none did.
+	EvalsToSuccess int
+	// Seeded reports whether an analytic white-box seed was installed
+	// (always true for whitebox; true for hybrid unless seeding failed).
+	Seeded bool
+}
+
+// Capabilities describes what a backend can promise.
+type Capabilities struct {
+	Analytic      bool // derives an operating point without simulating
+	Global        bool // searches beyond a local neighborhood
+	Deterministic bool // same seed ⇒ same result
+}
+
+// SizingBackend sizes a fixed topology against a spec. Implementations
+// must be deterministic in (Problem, seed) and must respect ctx
+// cancellation between evaluations.
+type SizingBackend interface {
+	Name() string
+	Capabilities() Capabilities
+	Size(ctx context.Context, p Problem, seed int64) (*Result, error)
+}
+
+// DefaultName is the backend used when the caller does not choose.
+const DefaultName = "bo"
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]SizingBackend{}
+)
+
+// Register installs a backend under its name. Duplicate registration is
+// a programming error.
+func Register(b SizingBackend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b.Name()]; dup {
+		panic("backend: duplicate registration of " + b.Name())
+	}
+	registry[b.Name()] = b
+}
+
+// Get returns the named backend.
+func Get(name string) (SizingBackend, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown sizing backend %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// Names lists the registered backends, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Ladder returns the degradation chain for a preferred backend: the
+// backend itself followed by its fallbacks, ending at plain BO — the
+// mirror of the resilience fallback-model ladder. The analytic backends
+// degrade to BO because their seed derivation can legitimately fail
+// (unsupported topology family, unrealizable device sizes at a process
+// corner), while BO only needs a valid parameter space.
+func Ladder(name string) []string {
+	switch name {
+	case "hybrid":
+		return []string{"hybrid", "bo"}
+	case "whitebox":
+		return []string{"whitebox", "bo"}
+	case "ga":
+		return []string{"ga", "bo"}
+	default:
+		return []string{name}
+	}
+}
+
+// SizeLadder runs the preferred backend, degrading down its ladder on
+// failure. onDegrade (optional) observes each hop so callers can record
+// it (the agent transcript, the harness degradation counter). Context
+// errors are terminal — a cancelled session must not silently retry on
+// a fallback backend.
+func SizeLadder(ctx context.Context, name string, p Problem, seed int64, onDegrade func(from, to string, err error)) (*Result, error) {
+	chain := Ladder(name)
+	var lastErr error
+	for i, n := range chain {
+		b, err := Get(n)
+		if err != nil {
+			return nil, err
+		}
+		res, err := b.Size(ctx, p, seed)
+		if err == nil {
+			res.Backend = n
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return res, err
+		}
+		lastErr = err
+		if i+1 < len(chain) && onDegrade != nil {
+			onDegrade(n, chain[i+1], err)
+		}
+	}
+	return nil, fmt.Errorf("backend: ladder %v exhausted: %w", chain, lastErr)
+}
+
+// tracker adapts a Problem to a scalar objective, enforcing the budget
+// and keeping the incumbent. A failed or over-budget evaluation scores
+// far below any real candidate (-1e4) so optimizers rank it last.
+type tracker struct {
+	p       Problem
+	evals   int
+	firstOK int
+	best    *Result
+}
+
+func newTracker(p Problem) *tracker { return &tracker{p: p} }
+
+func (t *tracker) eval(ctx context.Context, tp *topology.Topology) float64 {
+	if t.evals >= t.p.Budget {
+		return -1e4
+	}
+	t.evals++
+	rep, err := t.p.Eval(ctx, tp)
+	if err != nil {
+		return -1e4
+	}
+	s := spec.Score(t.p.Spec, rep)
+	ok := t.p.Spec.Satisfied(rep)
+	if ok && t.firstOK == 0 {
+		t.firstOK = t.evals
+	}
+	if t.best == nil || s > t.best.Score {
+		t.best = &Result{Topo: tp.Clone(), Report: rep, Score: s, Success: ok}
+	}
+	return s
+}
+
+// result finalizes the run. An empty run (every evaluation failed, or
+// none ran) is an error so the ladder can degrade.
+func (t *tracker) result() (*Result, error) {
+	if t.best == nil {
+		return nil, errors.New("backend: no candidate evaluated successfully")
+	}
+	t.best.Evals = t.evals
+	t.best.EvalsToSuccess = t.firstOK
+	return t.best, nil
+}

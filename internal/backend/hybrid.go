@@ -1,0 +1,46 @@
+package backend
+
+import (
+	"context"
+
+	"artisan/internal/gmid"
+)
+
+// hybridBackend feeds the white-box analytic seed into the BO loop as
+// its incumbent: the GP starts from the knowledge-card operating point
+// (one evaluation) and spends the rest of the budget exploring around
+// it — analytic insight plus global search. When the seed derivation
+// fails the run degrades to plain BO in place (Seeded=false) rather
+// than erroring, since BO needs nothing from the seed.
+type hybridBackend struct{}
+
+func init() { Register(hybridBackend{}) }
+
+func (hybridBackend) Name() string { return "hybrid" }
+
+func (hybridBackend) Capabilities() Capabilities {
+	return Capabilities{Analytic: true, Global: true, Deterministic: true}
+}
+
+func (hybridBackend) Size(ctx context.Context, p Problem, seed int64) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	var incumbent []float64
+	seeded, err := Seed(p.Spec, p.Topo, gmid.Default180nm(), gmid.DefaultStagePlan())
+	if err == nil {
+		space, serr := NewSpace(p.Topo)
+		if serr != nil {
+			return nil, serr
+		}
+		if x0, perr := space.PointOf(seeded); perr == nil {
+			space.Clamp(x0)
+			incumbent = x0
+		}
+	}
+	res, err := sizeBO(ctx, p, seed, incumbent)
+	if res != nil {
+		res.Seeded = incumbent != nil
+	}
+	return res, err
+}

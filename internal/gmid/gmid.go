@@ -45,6 +45,43 @@ func Default180nm() Tech {
 	}
 }
 
+// Corners returns the process corners of the technology: the typical
+// card first, then the four classic skew corners. Fast devices carry
+// ±20% stronger µCox and 10% lower thresholds; slow devices the
+// opposite. The mixed corners (FS/SF) skew NMOS and PMOS in opposite
+// directions, which is what stresses a white-box seed the most — the
+// analytic gm split between N and P devices is no longer symmetric.
+func Corners() []Tech {
+	tt := Default180nm()
+	tt.Name = "generic-180nm-tt"
+	skew := func(name string, nFast, pFast bool) Tech {
+		c := Default180nm()
+		c.Name = "generic-180nm-" + name
+		if nFast {
+			c.MuCoxN *= 1.2
+			c.VTN *= 0.9
+		} else {
+			c.MuCoxN *= 0.8
+			c.VTN *= 1.1
+		}
+		if pFast {
+			c.MuCoxP *= 1.2
+			c.VTP *= 0.9
+		} else {
+			c.MuCoxP *= 0.8
+			c.VTP *= 1.1
+		}
+		return c
+	}
+	return []Tech{
+		tt,
+		skew("ff", true, true),
+		skew("ss", false, false),
+		skew("fs", true, false),
+		skew("sf", false, true),
+	}
+}
+
 // MaxGmID returns the weak-inversion ceiling of gm/Id = 1/(n·Ut).
 func (t Tech) MaxGmID() float64 { return 1 / (t.N * t.Ut) }
 
@@ -74,6 +111,30 @@ func (t Tech) ISpecSq(pmos bool) float64 {
 		mu = t.MuCoxP
 	}
 	return 2 * t.N * mu * t.Ut * t.Ut
+}
+
+// IDoverW returns the current density Id/W (A/m) of a device at
+// inversion coefficient ic and channel length l — the quantity a gm/Id
+// lookup table is indexed by. A non-positive l selects the analog
+// default length.
+func (t Tech) IDoverW(ic, l float64, pmos bool) float64 {
+	if l <= 0 {
+		l = t.LAnalog
+	}
+	return ic * t.ISpecSq(pmos) / l
+}
+
+// ICFromIDoverW inverts IDoverW: given a current density it recovers the
+// inversion coefficient, completing the gm/Id → ID/W → gm/Id round trip
+// of the table-based methodology.
+func (t Tech) ICFromIDoverW(idw, l float64, pmos bool) (float64, error) {
+	if idw <= 0 {
+		return 0, fmt.Errorf("gmid: non-positive current density %g", idw)
+	}
+	if l <= 0 {
+		l = t.LAnalog
+	}
+	return idw * l / t.ISpecSq(pmos), nil
 }
 
 // Vov returns the EKV effective overdrive for an inversion coefficient.

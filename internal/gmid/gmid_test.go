@@ -27,6 +27,108 @@ func TestGmIDInversionRoundTrip(t *testing.T) {
 	}
 }
 
+// TestIDoverWRoundTrip checks the full table-methodology chain
+// gm/Id → IC → ID/W → IC → gm/Id across all three inversion regions,
+// for both device polarities, on every process corner.
+func TestIDoverWRoundTrip(t *testing.T) {
+	for _, tech := range Corners() {
+		ranges := []struct {
+			region   string
+			lo, span float64 // gm/Id window, fraction of the ceiling
+		}{
+			// gm/Id near the ceiling ⇒ IC < 0.1 (weak); mid-range ⇒
+			// moderate; low efficiency ⇒ IC > 10 (strong).
+			{"weak", 0.93, 0.05},
+			{"moderate", 0.35, 0.40},
+			{"strong", 0.05, 0.15},
+		}
+		for _, r := range ranges {
+			r := r
+			f := func(raw float64, pmos bool) bool {
+				frac := r.lo + math.Mod(math.Abs(raw), r.span)
+				g := frac * tech.MaxGmID()
+				ic, err := tech.ICFromGmID(g)
+				if err != nil {
+					return false
+				}
+				idw := tech.IDoverW(ic, 0, pmos)
+				ic2, err := tech.ICFromIDoverW(idw, 0, pmos)
+				if err != nil {
+					return false
+				}
+				return units.ApproxEqual(tech.GmIDFromIC(ic2), g, 1e-9)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Errorf("%s %s: %v", tech.Name, r.region, err)
+			}
+		}
+	}
+}
+
+func TestIDoverWRegions(t *testing.T) {
+	tech := Default180nm()
+	// Sanity-pin the region windows the round-trip test samples from.
+	for _, c := range []struct {
+		frac   float64
+		region string
+	}{{0.95, "weak"}, {0.5, "moderate"}, {0.1, "strong"}} {
+		ic, err := tech.ICFromGmID(c.frac * tech.MaxGmID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Region(ic) != c.region {
+			t.Errorf("gm/Id at %.0f%% of ceiling: region %s, want %s (IC=%g)",
+				c.frac*100, Region(ic), c.region, ic)
+		}
+	}
+}
+
+func TestIDoverWErrors(t *testing.T) {
+	tech := Default180nm()
+	if _, err := tech.ICFromIDoverW(0, 0, false); err == nil {
+		t.Error("zero current density accepted")
+	}
+	if _, err := tech.ICFromIDoverW(-1, 0, true); err == nil {
+		t.Error("negative current density accepted")
+	}
+}
+
+func TestCorners(t *testing.T) {
+	cs := Corners()
+	if len(cs) != 5 {
+		t.Fatalf("corner count = %d, want 5", len(cs))
+	}
+	if cs[0].Name != "generic-180nm-tt" {
+		t.Errorf("first corner = %s, want typical", cs[0].Name)
+	}
+	tt := Default180nm()
+	if cs[0].MuCoxN != tt.MuCoxN || cs[0].VTN != tt.VTN {
+		t.Error("typical corner should match Default180nm")
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if seen[c.Name] {
+			t.Errorf("duplicate corner %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.MuCoxN <= 0 || c.MuCoxP <= 0 || c.VTN <= 0 || c.VTP <= 0 {
+			t.Errorf("corner %s has non-physical constants", c.Name)
+		}
+	}
+	// FF is faster than TT on both polarities, SS slower; FS/SF mixed.
+	ff, ss := cs[1], cs[2]
+	if ff.MuCoxN <= tt.MuCoxN || ff.VTN >= tt.VTN {
+		t.Error("FF should have stronger NMOS")
+	}
+	if ss.MuCoxP >= tt.MuCoxP || ss.VTP <= tt.VTP {
+		t.Error("SS should have weaker PMOS")
+	}
+	fs := cs[3]
+	if fs.MuCoxN <= tt.MuCoxN || fs.MuCoxP >= tt.MuCoxP {
+		t.Error("FS should skew N fast, P slow")
+	}
+}
+
 func TestGmIDMonotone(t *testing.T) {
 	tech := Default180nm()
 	// gm/Id falls as IC rises (deeper inversion = less efficiency).

@@ -1,10 +1,12 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"artisan/internal/spec"
+	"artisan/internal/telemetry"
 	"artisan/internal/topology"
 )
 
@@ -32,9 +34,17 @@ func DefaultGAOpts() GAOpts {
 
 // GA runs the genetic search under a hard simulation budget.
 func GA(sp spec.Spec, budget int, seed int64, opts GAOpts) (*Result, error) {
+	return GAContext(context.Background(), sp, budget, seed, opts)
+}
+
+// GAContext is GA with context propagation ("opt.ga" span, cancellation
+// between generations).
+func GAContext(ctx context.Context, sp spec.Spec, budget int, seed int64, opts GAOpts) (*Result, error) {
 	if budget < 20 {
 		return nil, fmt.Errorf("opt: GA budget %d too small", budget)
 	}
+	ctx, span := telemetry.StartSpan(ctx, "opt.ga")
+	defer span.End()
 	if opts.Population < 4 {
 		opts.Population = 4
 	}
@@ -47,6 +57,7 @@ func GA(sp spec.Spec, budget int, seed int64, opts GAOpts) (*Result, error) {
 	rng := rand.New(rand.NewSource(seed))
 	sampler := topology.NewSampler(seed + 1)
 	ev := newEvaluator(sp, budget)
+	defer func() { span.SetAttr("sims", fmt.Sprintf("%d", ev.sims)) }()
 
 	type indiv struct {
 		tp    *topology.Topology
@@ -56,7 +67,7 @@ func GA(sp spec.Spec, budget int, seed int64, opts GAOpts) (*Result, error) {
 	for i := range pop {
 		tp := sampler.Random()
 		tp.Name = "GA"
-		pop[i] = indiv{tp, ev.eval(tp)}
+		pop[i] = indiv{tp, ev.eval(ctx, tp)}
 	}
 
 	tournament := func() indiv {
@@ -71,6 +82,10 @@ func GA(sp spec.Spec, budget int, seed int64, opts GAOpts) (*Result, error) {
 	}
 
 	for ev.remaining(budget) > opts.Population-opts.Elite {
+		if err := ctx.Err(); err != nil {
+			span.SetAttr("cancelled", err.Error())
+			return ev.best, err
+		}
 		// Sort descending by score (small population: simple selection).
 		for i := 0; i < len(pop); i++ {
 			for j := i + 1; j < len(pop); j++ {
@@ -89,7 +104,7 @@ func GA(sp spec.Spec, budget int, seed int64, opts GAOpts) (*Result, error) {
 				child = sampler.Mutate(tournament().tp)
 			}
 			child.Name = "GA"
-			next = append(next, indiv{child, ev.eval(child)})
+			next = append(next, indiv{child, ev.eval(ctx, child)})
 		}
 		pop = next
 	}

@@ -20,10 +20,10 @@ import (
 	"math"
 	"math/rand"
 
-	"artisan/internal/agents"
 	"artisan/internal/measure"
 	"artisan/internal/sizing"
 	"artisan/internal/spec"
+	"artisan/internal/telemetry"
 	"artisan/internal/topology"
 )
 
@@ -40,24 +40,41 @@ type Result struct {
 // evaluator counts simulations and scores topologies under a spec.
 type evaluator struct {
 	sp     spec.Spec
-	sim    *agents.Simulator
 	best   *Result
 	budget int
+	sims   int
 }
 
 func newEvaluator(sp spec.Spec, budget int) *evaluator {
-	return &evaluator{sp: sp, sim: agents.NewSimulator(),
-		best: &Result{Score: math.Inf(-1)}, budget: budget}
+	return &evaluator{sp: sp, best: &Result{Score: math.Inf(-1)}, budget: budget}
 }
 
-func (e *evaluator) eval(tp *topology.Topology) float64 {
-	if e.sim.Invocations >= e.budget {
+// measure elaborates and measures one candidate under the spec's load,
+// counting the simulation. A dead context fails the measurement (and so
+// poisons the remaining evaluations), which is how cancellation drains
+// the optimizers' inner loops quickly.
+func (e *evaluator) measure(ctx context.Context, tp *topology.Topology) (measure.Report, error) {
+	env := topology.DefaultEnv()
+	env.CL, env.RL = e.sp.CL, e.sp.RL
+	nl, err := tp.Elaborate(env)
+	if err != nil {
+		return measure.Report{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return measure.Report{}, err
+	}
+	e.sims++
+	return measure.AnalyzeContext(ctx, nl, "out")
+}
+
+func (e *evaluator) eval(ctx context.Context, tp *topology.Topology) float64 {
+	if e.sims >= e.budget {
 		return -100 // budget exhausted: the run is over
 	}
-	rep, err := e.sim.MeasureTopology(context.Background(), tp, e.sp)
+	rep, err := e.measure(ctx, tp)
 	score := -100.0
 	if err == nil {
-		score = agents.Score(e.sp, rep)
+		score = spec.Score(e.sp, rep)
 	}
 	if score > e.best.Score {
 		e.best.Score = score
@@ -65,12 +82,12 @@ func (e *evaluator) eval(tp *topology.Topology) float64 {
 		e.best.Report = rep
 		e.best.Success = err == nil && e.sp.Satisfied(rep)
 	}
-	e.best.Sims = e.sim.Invocations
+	e.best.Sims = e.sims
 	e.best.History = append(e.best.History, e.best.Score)
 	return score
 }
 
-func (e *evaluator) remaining(budget int) int { return budget - e.sim.Invocations }
+func (e *evaluator) remaining(budget int) int { return budget - e.sims }
 
 // --- BOBO -----------------------------------------------------------------
 
@@ -135,11 +152,21 @@ var (
 // BOBO runs Bayesian optimization over the topology embedding with the
 // given simulation budget.
 func BOBO(sp spec.Spec, budget int, seed int64) (*Result, error) {
+	return BOBOContext(context.Background(), sp, budget, seed)
+}
+
+// BOBOContext is BOBO with context propagation: the run emits an
+// "opt.bobo" span when the context carries a tracer, and cancellation
+// stops the underlying BO loop at the next iteration boundary.
+func BOBOContext(ctx context.Context, sp spec.Spec, budget int, seed int64) (*Result, error) {
 	if budget < 20 {
 		return nil, fmt.Errorf("opt: BOBO budget %d too small", budget)
 	}
+	ctx, span := telemetry.StartSpan(ctx, "opt.bobo")
+	defer span.End()
 	e := newEmb()
 	ev := newEvaluator(sp, budget)
+	defer func() { span.SetAttr("sims", fmt.Sprintf("%d", ev.sims)) }()
 	d := e.dim()
 	lo := make([]float64, d)
 	hi := make([]float64, d)
@@ -152,9 +179,9 @@ func BOBO(sp spec.Spec, budget int, seed int64) (*Result, error) {
 		if tp.Validate() != nil {
 			return -100
 		}
-		return ev.eval(tp)
+		return ev.eval(ctx, tp)
 	}}
-	_, err := sizing.Optimize(prob, sizing.Options{
+	_, err := sizing.OptimizeContext(ctx, prob, sizing.Options{
 		InitSamples: init, Iterations: budget - init, Candidates: 256, Seed: seed})
 	if err != nil {
 		return nil, err
@@ -169,12 +196,21 @@ func BOBO(sp spec.Spec, budget int, seed int64) (*Result, error) {
 // updated by the episode advantage, and a short Nelder–Mead parameter
 // refinement of the per-episode best.
 func RLBO(sp spec.Spec, budget int, seed int64) (*Result, error) {
+	return RLBOContext(context.Background(), sp, budget, seed)
+}
+
+// RLBOContext is RLBO with context propagation ("opt.rlbo" span,
+// cancellation between episodes).
+func RLBOContext(ctx context.Context, sp spec.Spec, budget int, seed int64) (*Result, error) {
 	if budget < 20 {
 		return nil, fmt.Errorf("opt: RLBO budget %d too small", budget)
 	}
+	ctx, span := telemetry.StartSpan(ctx, "opt.rlbo")
+	defer span.End()
 	rng := rand.New(rand.NewSource(seed))
 	sampler := topology.NewSampler(seed + 1)
 	ev := newEvaluator(sp, budget)
+	defer func() { span.SetAttr("sims", fmt.Sprintf("%d", ev.sims)) }()
 
 	// Policy: softmax logits over the mutation kinds.
 	logits := make([]float64, 5)
@@ -205,12 +241,16 @@ func RLBO(sp spec.Spec, budget int, seed int64) (*Result, error) {
 	baseline := 0.0
 	nEp := 0
 	for ev.remaining(budget) > stepsPerEpisode+2 {
+		if err := ctx.Err(); err != nil {
+			span.SetAttr("cancelled", err.Error())
+			return ev.best, err
+		}
 		// Episode start: a random topology. (A black-box searcher has no
 		// expert prior — it does not know the Miller-compensation seeds a
 		// human would start from; that asymmetry is the paper's point.)
 		cur := sampler.Random()
 		cur.Name = "RLBO"
-		curScore := ev.eval(cur)
+		curScore := ev.eval(ctx, cur)
 		var actions []int
 		for step := 0; step < stepsPerEpisode && ev.remaining(budget) > 2; step++ {
 			kind := sample()
@@ -218,7 +258,7 @@ func RLBO(sp spec.Spec, budget int, seed int64) (*Result, error) {
 			// Follow the policy's trajectory (REINFORCE explores; it does
 			// not hill-climb within an episode).
 			cur = mutateKind(sampler, cur, kind)
-			curScore = ev.eval(cur)
+			curScore = ev.eval(ctx, cur)
 		}
 		// REINFORCE update with a running baseline.
 		nEp++
@@ -233,11 +273,11 @@ func RLBO(sp spec.Spec, budget int, seed int64) (*Result, error) {
 	// Short local refinement of the incumbent (TOTAL's sizing inner
 	// loop); capped so the run stays exploration-dominated.
 	if ev.best.Best != nil && ev.remaining(budget) > 8 {
-		cap := ev.sim.Invocations + 30
+		cap := ev.sims + 30
 		if cap < budget {
 			ev.budget = cap
 		}
-		refineBest(ev, ev.budget)
+		refineBest(ctx, ev, ev.budget)
 		ev.budget = budget
 	}
 	return ev.best, nil
@@ -279,7 +319,7 @@ func mutateKind(s *topology.Sampler, tp *topology.Topology, kind int) *topology.
 
 // refineBest spends the remaining budget on Nelder–Mead over the
 // incumbent's continuous parameters.
-func refineBest(ev *evaluator, budget int) {
+func refineBest(ctx context.Context, ev *evaluator, budget int) {
 	base := ev.best.Best.Clone()
 	var cur []float64
 	var setters []func(tp *topology.Topology, v float64)
@@ -319,7 +359,7 @@ func refineBest(ev *evaluator, budget int) {
 		if tp.Validate() != nil {
 			return -100
 		}
-		return ev.eval(tp)
+		return ev.eval(ctx, tp)
 	}}
 	_, _ = sizing.NelderMead(prob, cur, iters/2)
 }

@@ -42,6 +42,16 @@ func (s *Server) initTelemetry(o Options) {
 		"Wall-clock duration of one design run in seconds.",
 		designDurationBuckets)
 
+	// Sizing backends: which backend actually served each tuned design
+	// (the ladder may have degraded the requested one) and the simulator
+	// evaluations the winning run consumed.
+	s.sizingBackends = s.reg.CounterVec("artisan_sizing_backend_total",
+		"Sizing-backend invocations, by winning backend and design outcome.",
+		"backend", "outcome")
+	s.sizingEvals = s.reg.Histogram("artisan_sizing_evals",
+		"Simulator evaluations consumed by one sizing-backend run.",
+		telemetry.ExpBuckets(1, 2, 12))
+
 	// Jobs: queue depth is the live saturation signal; the cache counters
 	// mirror jobs.CacheStats so dashboards and /stats agree by
 	// construction.

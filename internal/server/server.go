@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"artisan/internal/agents"
+	"artisan/internal/backend"
 	"artisan/internal/cluster"
 	"artisan/internal/core"
 	"artisan/internal/experiment"
@@ -106,6 +107,11 @@ type Options struct {
 	// store as a simulated disk failure (see cluster.StoreOptions
 	// .WriteFault). Chaos-test hook; nil in production.
 	StoreWriteFault func() error
+	// SizingBackend is the default sizing backend for tuned design
+	// requests that do not name one ("bo", "ga", "whitebox", "hybrid");
+	// empty means backend.DefaultName. Requests can override it with the
+	// "backend" field.
+	SizingBackend string
 }
 
 // Server holds the service configuration.
@@ -131,6 +137,12 @@ type Server struct {
 	accessLog     *slog.Logger
 	designs       *telemetry.CounterVec
 	designSeconds *telemetry.Histogram
+
+	// Sizing-backend instruments: which backend served each tuned design
+	// (post-ladder, so a degraded run counts under its fallback) and how
+	// many simulator evaluations the winning backend spent.
+	sizingBackends *telemetry.CounterVec
+	sizingEvals    *telemetry.Histogram
 
 	// Batch-serving instruments: items per batch request, per-item
 	// latency from batch submit to completion, and per-item outcomes.
@@ -189,6 +201,11 @@ func NewServer(o Options) (*Server, error) {
 	}
 	if o.MaxBatch < 1 {
 		o.MaxBatch = 64
+	}
+	if o.SizingBackend != "" {
+		if _, err := backend.Get(o.SizingBackend); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
 	counters := &resilience.Counters{}
 	s := &Server{
@@ -568,6 +585,10 @@ type DesignRequest struct {
 	TreeWidth   int             `json:"treeWidth,omitempty"`
 	Tune        bool            `json:"tune,omitempty"`
 	Transcript  bool            `json:"transcript,omitempty"`
+	// Backend selects the sizing backend for tuned requests ("bo", "ga",
+	// "whitebox", "hybrid"). Empty falls back to the server's configured
+	// default. Ignored unless Tune is set.
+	Backend string `json:"backend,omitempty"`
 }
 
 // DesignResponse is the POST /design reply (and the result payload of a
@@ -641,6 +662,17 @@ func (s *Server) parseDesignRequest(req *DesignRequest) (spec.Spec, error) {
 	if req.Temperature < 0 || req.Temperature > 1 {
 		return sp, fmt.Errorf("temperature %g out of [0,1]", req.Temperature)
 	}
+	// Canonicalize the sizing backend so the cache key and the session see
+	// the same resolved name regardless of which default filled it in.
+	if req.Backend == "" {
+		req.Backend = s.opts.SizingBackend
+	}
+	if req.Backend == "" {
+		req.Backend = backend.DefaultName
+	}
+	if _, err := backend.Get(req.Backend); err != nil {
+		return sp, err
+	}
 	return sp, nil
 }
 
@@ -648,9 +680,9 @@ func (s *Server) parseDesignRequest(req *DesignRequest) (spec.Spec, error) {
 // The spec fields — not the raw group/prompt strings — form the key, so
 // a group request and the equivalent prompt request share an entry.
 func designKey(sp spec.Spec, req DesignRequest) string {
-	return fmt.Sprintf("design|gain=%g|gbw=%g|pm=%g|pow=%g|cl=%g|rl=%g|vdd=%g|seed=%d|temp=%g|width=%d|tune=%t|chat=%t",
+	return fmt.Sprintf("design|gain=%g|gbw=%g|pm=%g|pow=%g|cl=%g|rl=%g|vdd=%g|seed=%d|temp=%g|width=%d|tune=%t|chat=%t|backend=%s",
 		sp.MinGainDB, sp.MinGBW, sp.MinPM, sp.MaxPower, sp.CL, sp.RL, sp.VDD,
-		req.Seed, req.Temperature, req.TreeWidth, req.Tune, req.Transcript)
+		req.Seed, req.Temperature, req.TreeWidth, req.Tune, req.Transcript, req.Backend)
 }
 
 // designFunc builds the pool job that runs the full workflow with the
@@ -697,6 +729,7 @@ func (s *Server) designFunc(sp spec.Spec, req DesignRequest, requestID string) j
 		a := core.NewWithModel(llm.NewDomainModel(req.Seed, req.Temperature))
 		a.Opts.TreeWidth = req.TreeWidth
 		a.Opts.Tune = req.Tune
+		a.Opts.SizingBackend = req.Backend
 		sessionCounters := &resilience.Counters{}
 		a.Res = &agents.Resilience{
 			Retry: resilience.RetryPolicy{
@@ -727,6 +760,10 @@ func (s *Server) designFunc(sp spec.Spec, req DesignRequest, requestID string) j
 			outcome = "success"
 		} else {
 			outcome = "fail"
+		}
+		if out.SizingBackend != "" {
+			s.sizingBackends.With(out.SizingBackend, outcome).Inc()
+			s.sizingEvals.Observe(float64(out.SizingEvals))
 		}
 		resp := &DesignResponse{
 			Success:    out.Success,

@@ -22,6 +22,13 @@ type Options struct {
 	Iterations  int // BO iterations (one evaluation each)
 	Candidates  int // acquisition candidates per iteration
 	Seed        int64
+	// Init, when non-nil, is a caller-supplied incumbent in the problem's
+	// real coordinate space. It is evaluated first — before the
+	// Latin-hypercube phase — so a caller with an analytic seed (the
+	// white-box gm/Id engine) spends one evaluation installing it instead
+	// of hoping the random design rediscovers it. Must lie within
+	// [Lo, Hi]; it adds one evaluation to the run.
+	Init []float64
 }
 
 // DefaultOptions is a modest budget suitable for behavioral simulation.
@@ -86,6 +93,16 @@ func OptimizeContext(ctx context.Context, p Problem, o Options) (*Result, error)
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	d := p.dim()
+	if o.Init != nil {
+		if len(o.Init) != d {
+			return nil, fmt.Errorf("sizing: incumbent dimension %d, want %d", len(o.Init), d)
+		}
+		for i, v := range o.Init {
+			if v < p.Lo[i] || v > p.Hi[i] {
+				return nil, fmt.Errorf("sizing: incumbent[%d]=%g outside [%g, %g]", i, v, p.Lo[i], p.Hi[i])
+			}
+		}
+	}
 
 	res := &Result{BestY: math.Inf(-1)}
 	var xs [][]float64
@@ -122,6 +139,16 @@ func OptimizeContext(ctx context.Context, p Problem, o Options) (*Result, error)
 	defer func() { span.SetAttr("evals", fmt.Sprintf("%d", res.Evals)) }()
 
 	_, initSpan := telemetry.StartSpan(ctx, "sizing.init")
+	if o.Init != nil {
+		// The incumbent leads the history, so it seeds the GP and the
+		// Gaussian exploitation moves of every BO iteration.
+		u := make([]float64, d)
+		for i, v := range o.Init {
+			u[i] = (v - p.Lo[i]) / (p.Hi[i] - p.Lo[i])
+		}
+		record(u)
+		initSpan.SetAttr("incumbent", "1")
+	}
 	for _, u := range latinHypercube(o.InitSamples, d, rng) {
 		record(u)
 	}

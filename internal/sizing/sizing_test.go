@@ -38,6 +38,72 @@ func TestOptimizeSphere2D(t *testing.T) {
 	}
 }
 
+func TestOptimizeInitIncumbent(t *testing.T) {
+	opt := []float64{1.2, -2.3}
+	p := Problem{
+		Lo:   []float64{-5, -5},
+		Hi:   []float64{5, 5},
+		Eval: sphere(opt),
+	}
+	o := DefaultOptions(1)
+	o.Init = []float64{1.2, -2.3} // exact optimum as incumbent
+	res, err := Optimize(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The incumbent is evaluated first and adds one evaluation.
+	if res.Evals != 1+12+40 {
+		t.Errorf("Evals = %d, want 53", res.Evals)
+	}
+	// The incumbent passes through the unit-cube normalization, so the
+	// score is optimal only to floating-point round-trip precision.
+	if res.History[0] < -1e-25 {
+		t.Errorf("History[0] = %g, want the incumbent's near-zero score", res.History[0])
+	}
+	if res.BestY < -1e-25 {
+		t.Errorf("BestY = %g, want near 0 (incumbent was optimal)", res.BestY)
+	}
+	if !units.ApproxEqual(res.BestX[0], opt[0], 1e-9) || !units.ApproxEqual(res.BestX[1], opt[1], 1e-9) {
+		t.Errorf("BestX = %v, want the incumbent", res.BestX)
+	}
+}
+
+func TestOptimizeInitValidation(t *testing.T) {
+	p := Problem{Lo: []float64{-5, -5}, Hi: []float64{5, 5}, Eval: sphere([]float64{0, 0})}
+	o := DefaultOptions(1)
+	o.Init = []float64{1}
+	if _, err := Optimize(p, o); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	o.Init = []float64{0, 7}
+	if _, err := Optimize(p, o); err == nil {
+		t.Error("out-of-bounds incumbent accepted")
+	}
+	o.Init = []float64{-5, 5} // boundary points are valid
+	if _, err := Optimize(p, o); err != nil {
+		t.Errorf("boundary incumbent rejected: %v", err)
+	}
+}
+
+func TestOptimizeNilInitUnchanged(t *testing.T) {
+	// A nil incumbent must reproduce the historical run byte for byte —
+	// goldens and benchmarks depend on it.
+	p := Problem{Lo: []float64{-5, -5}, Hi: []float64{5, 5}, Eval: sphere([]float64{1.2, -2.3})}
+	a, err := Optimize(p, DefaultOptions(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions(7)
+	o.Init = nil
+	b, err := Optimize(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Evals != b.Evals || a.BestY != b.BestY {
+		t.Errorf("nil Init changed the run: (%d, %g) vs (%d, %g)", a.Evals, a.BestY, b.Evals, b.BestY)
+	}
+}
+
 func TestOptimizeBeatsRandomSearch(t *testing.T) {
 	// On a smooth objective with equal budgets, BO must beat pure random
 	// search on the median of several seeds.

@@ -1,0 +1,32 @@
+package spec
+
+import "artisan/internal/measure"
+
+// Score is the constrained sizing objective shared by every optimizer in
+// the repository: the FoM when every spec is met, otherwise the negative
+// sum of relative violations (so an optimizer first drives violations to
+// zero, then maximizes FoM). It lives here — not in the agents package —
+// so the sizing backends can score candidates without importing the
+// agent loop.
+func Score(sp Spec, rep measure.Report) float64 {
+	vs := sp.Check(rep)
+	if len(vs) == 0 {
+		return sp.FoMOf(rep)
+	}
+	pen := 0.0
+	for _, v := range vs {
+		switch v.Metric {
+		case "Power(W)":
+			pen += (v.Got - v.Limit) / v.Limit
+		case "Stability":
+			pen += 10
+		default:
+			if v.Got <= 0 {
+				pen += 10
+			} else {
+				pen += (v.Limit - v.Got) / v.Limit
+			}
+		}
+	}
+	return -pen
+}

@@ -63,6 +63,20 @@ sed '$d' "$out" > "$merged"
 printf ',\n' >> "$merged"
 sed '1d' "$ftmp" >> "$merged"
 mv "$merged" "$out"
+
+# Sizing-backend comparison: every registered backend recovers the same
+# detuned designs over all five spec groups (see cmd/evaltable
+# -backends); the per-cell success/FoM/evals-to-spec entries are merged
+# for cross-PR comparison. Fully seeded, so the numbers are exactly
+# reproducible; the BackendSizing_* names never match the hot regex.
+btmp="$(mktemp)"
+trap 'rm -f "$tmp" "$ltmp" "$ftmp" "$btmp"' EXIT
+go run ./cmd/evaltable -backends -workers 8 -seed 42 -out "$btmp"
+merged="$(mktemp)"
+sed '$d' "$out" > "$merged"
+printf ',\n' >> "$merged"
+sed '1d' "$btmp" >> "$merged"
+mv "$merged" "$out"
 echo "bench: wrote $out"
 
 if [ -n "$baseline" ]; then

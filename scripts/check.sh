@@ -11,7 +11,8 @@ go build ./...
 go test ./...
 go test -race ./internal/jobs ./internal/server ./internal/experiment \
     ./internal/resilience ./internal/agents ./internal/telemetry \
-    ./internal/mna ./internal/measure ./internal/sizing ./internal/cluster
+    ./internal/mna ./internal/measure ./internal/sizing ./internal/cluster \
+    ./internal/backend ./internal/gmid ./internal/opt
 
 # Two-node router smoke: a quick fleet loadgen run proves two worker
 # nodes behind the consistent-hash router serve the full mix end to end
