@@ -35,4 +35,4 @@ check: vet build test race chaos
 # bench records (name, ns/op, allocs/op) as JSON for cross-PR comparison
 # and fails on a >20% hot-path regression vs the previous PR's baseline.
 bench:
-	scripts/bench.sh BENCH_pr8.json BENCH_pr4.json
+	scripts/bench.sh BENCH_pr9.json BENCH_pr8.json

@@ -2,7 +2,9 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"artisan/internal/measure"
 	"artisan/internal/spec"
@@ -68,40 +70,91 @@ func (r CornersReport) String() string {
 	return b.String()
 }
 
+// runCorner evaluates one corner against the spec. Each corner works on
+// its own topology clone and compiled circuit, so corners are independent
+// and safe to evaluate concurrently.
+func runCorner(topo *topology.Topology, sp spec.Spec, cn Corner) (CornerResult, error) {
+	if cn.GmScale <= 0 || cn.FTScale <= 0 || cn.A0Scale <= 0 {
+		return CornerResult{}, fmt.Errorf("experiment: corner %q has non-positive scale", cn.Name)
+	}
+	tp := topo.Clone()
+	for i := range tp.Stages {
+		tp.Stages[i].Gm *= cn.GmScale
+		tp.Stages[i].A0 *= cn.A0Scale
+	}
+	for i := range tp.Conns {
+		if tp.Conns[i].Type.HasGm() {
+			tp.Conns[i].Gm *= cn.GmScale
+		}
+	}
+	env := topology.DefaultEnv()
+	env.CL, env.RL = sp.CL, sp.RL
+	env.Dev.FT *= cn.FTScale
+	nl, err := tp.Elaborate(env)
+	if err != nil {
+		return CornerResult{}, fmt.Errorf("experiment: corner %s: %w", cn.Name, err)
+	}
+	rep, err := measure.Analyze(nl, "out")
+	if err != nil {
+		return CornerResult{}, fmt.Errorf("experiment: corner %s: %w", cn.Name, err)
+	}
+	return CornerResult{Corner: cn, Report: rep, Pass: sp.Satisfied(rep)}, nil
+}
+
 // RunCorners evaluates the topology at every corner under the spec's
 // load. The corner scalings apply to the skeleton stages and to every
-// transconductor in the compensation network.
+// transconductor in the compensation network. Corners are evaluated with
+// GOMAXPROCS workers; see RunCornersParallel for the determinism
+// contract.
 func RunCorners(topo *topology.Topology, sp spec.Spec, corners []Corner) (CornersReport, error) {
+	return RunCornersParallel(topo, sp, corners, 0)
+}
+
+// RunCornersParallel shards the corner sweep over workers goroutines
+// (0 = GOMAXPROCS, 1 = serial). Results are collected in corner order and
+// a failure reports the lowest-index failing corner together with the
+// results that precede it, so the output is identical for any worker
+// count — including the serial loop it replaces.
+func RunCornersParallel(topo *topology.Topology, sp spec.Spec, corners []Corner, workers int) (CornersReport, error) {
 	if len(corners) == 0 {
 		corners = StandardCorners()
 	}
+	results := make([]CornerResult, len(corners))
+	errs := make([]error, len(corners))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(corners) {
+		workers = len(corners)
+	}
+	if workers <= 1 {
+		for i, cn := range corners {
+			results[i], errs[i] = runCorner(topo, sp, cn)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int, len(corners))
+		for i := range corners {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i], errs[i] = runCorner(topo, sp, corners[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	var out CornersReport
-	for _, cn := range corners {
-		if cn.GmScale <= 0 || cn.FTScale <= 0 || cn.A0Scale <= 0 {
-			return out, fmt.Errorf("experiment: corner %q has non-positive scale", cn.Name)
+	for i := range results {
+		if errs[i] != nil {
+			return out, errs[i]
 		}
-		tp := topo.Clone()
-		for i := range tp.Stages {
-			tp.Stages[i].Gm *= cn.GmScale
-			tp.Stages[i].A0 *= cn.A0Scale
-		}
-		for i := range tp.Conns {
-			if tp.Conns[i].Type.HasGm() {
-				tp.Conns[i].Gm *= cn.GmScale
-			}
-		}
-		env := topology.DefaultEnv()
-		env.CL, env.RL = sp.CL, sp.RL
-		env.Dev.FT *= cn.FTScale
-		nl, err := tp.Elaborate(env)
-		if err != nil {
-			return out, fmt.Errorf("experiment: corner %s: %w", cn.Name, err)
-		}
-		rep, err := measure.Analyze(nl, "out")
-		if err != nil {
-			return out, fmt.Errorf("experiment: corner %s: %w", cn.Name, err)
-		}
-		out.Results = append(out.Results, CornerResult{Corner: cn, Report: rep, Pass: sp.Satisfied(rep)})
+		out.Results = append(out.Results, results[i])
 	}
 	return out, nil
 }

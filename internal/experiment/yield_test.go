@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -173,5 +174,44 @@ func TestGAThroughHarness(t *testing.T) {
 	}
 	if c.Time <= 0 {
 		t.Error("GA time not modeled")
+	}
+}
+
+func TestYieldIdenticalAcrossWorkers(t *testing.T) {
+	// The sharding contract: per-sample RNG streams are derived from
+	// (seed, index), and outcomes aggregate in index order — so the result
+	// must be byte-identical for every worker count, including serial.
+	g1, _ := spec.Group("G-1")
+	nl := designedNetlist(t, g1)
+	ref, err := MonteCarloYield(nl, g1, YieldOpts{Samples: 60, Sigma: 0.05, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 7} {
+		got, err := MonteCarloYield(nl, g1, YieldOpts{Samples: 60, Sigma: 0.05, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: %+v != serial %+v", workers, got, ref)
+		}
+	}
+}
+
+func TestCornersIdenticalAcrossWorkers(t *testing.T) {
+	g1, _ := spec.Group("G-1")
+	tp := topology.NMC(25e-6, 38e-6, 251e-6, 4e-12, 3e-12)
+	ref, err := RunCornersParallel(tp, g1, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 5} {
+		got, err := RunCornersParallel(tp, g1, nil, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d corner results differ from serial", workers)
+		}
 	}
 }

@@ -113,23 +113,31 @@ func StepAnalyze(nl *netlist.Netlist, out string, opts StepOpts) (StepReport, er
 		return StepReport{}, err
 	}
 
-	// Auto window: ~40 closed-loop time constants (closed-loop pole near
-	// the GBW), capped for slew-dominated responses.
+	// Auto window: ~60 closed-loop time constants (closed-loop pole near
+	// the GBW), capped for slew-dominated responses. Only the open-loop
+	// GBW is needed to size the window, so a bisection probe replaces the
+	// full sweep-plus-root-find analysis; trapezoidal integration is
+	// second order, and τ/16 keeps the slew phase resolved by ~50 steps
+	// while leaving the settling metrics within their tolerances.
 	tEnd, dt := opts.TEnd, opts.Dt
 	if tEnd == 0 || dt == 0 {
-		rep, err := Analyze(nl, out)
+		ol, err := mna.Compile(nl)
 		if err != nil {
 			return StepReport{}, err
 		}
-		if rep.GBW <= 0 {
+		gbw, err := bisectGBW(ol, out, 0)
+		if err != nil {
+			return StepReport{}, err
+		}
+		if gbw <= 0 {
 			return StepReport{}, fmt.Errorf("measure: cannot auto-size window (no GBW)")
 		}
-		tau := 1 / (2 * math.Pi * rep.GBW)
+		tau := 1 / (2 * math.Pi * gbw)
 		if tEnd == 0 {
 			tEnd = 60 * tau
 		}
 		if dt == 0 {
-			dt = tau / 40
+			dt = tau / 16
 		}
 	}
 

@@ -13,6 +13,10 @@ import (
 // (A(s) = G + sC), and the excitation vector b. A compiled Circuit is
 // immutable, so all its analysis entry points are safe for concurrent
 // use: per-solve scratch lives in pooled Workspaces.
+//
+// The exception is a circuit produced by Restamped, which is mutable by
+// construction (its values are rewritten per evaluation point) and is
+// owned by a single goroutine at a time.
 type Circuit struct {
 	nl       *netlist.Netlist
 	nodeIdx  map[string]int // non-ground nodes → 0..nn-1
@@ -25,14 +29,149 @@ type Circuit struct {
 
 	wsPool sync.Pool // *Workspace scratch for the pooled entry points
 
-	// Memoized polynomial-degree probes for the root finder: the degree
-	// of det(G+sC) (and of each output's Cramer numerator) is a property
-	// of the compiled circuit, so six high-radius determinant evaluations
-	// per Poles/Zeros call collapse to one probe per Circuit.
-	degMu    sync.Mutex
-	polesDeg int
-	polesOK  bool
-	zerosDeg map[string]int
+	// Memoized polynomial-degree probes for the root finder (see degMemo).
+	// Shared between a circuit and its Restamped variants: the degree of
+	// det(G+sC) is a structural property, unchanged by value perturbation.
+	deg *degMemo
+
+	// Lazily built structural CSC pattern (union of the G and C stamps)
+	// plus pattern-aligned complex value arrays for the sparse AC path.
+	// The pattern is shared with Restamped variants; the value arrays are
+	// per-circuit and invalidated by restamp.
+	patMu    sync.Mutex
+	pat      *Pattern
+	spG, spC []complex128
+	spOK     bool
+
+	tranPool sync.Pool // *tranScratch for Transient
+}
+
+// stampSink receives the MNA stamps of a device walk. Indices passed to G,
+// C, and B are always valid (ground rows are filtered by the caller).
+type stampSink interface {
+	G(r, c int, v complex128)
+	C(r, c int, v complex128)
+	B(r int, v complex128)
+}
+
+// matrixSink accumulates stamps into dense matrices — the Compile/restamp
+// backend.
+type matrixSink struct {
+	g, c *Matrix
+	b    []complex128
+}
+
+func (m *matrixSink) G(r, c int, v complex128) { m.g.Add(r, c, v) }
+func (m *matrixSink) C(r, c int, v complex128) { m.c.Add(r, c, v) }
+func (m *matrixSink) B(r int, v complex128)    { m.b[r] += v }
+
+// patternSink records the structural (row, col) positions of the A-matrix
+// stamps, ignoring values and the excitation.
+type patternSink struct {
+	rows, cols []int
+}
+
+func (p *patternSink) entry(r, c int) {
+	p.rows = append(p.rows, r)
+	p.cols = append(p.cols, c)
+}
+func (p *patternSink) G(r, c int, v complex128) { p.entry(r, c) }
+func (p *patternSink) C(r, c int, v complex128) { p.entry(r, c) }
+func (p *patternSink) B(r int, v complex128)    {}
+
+// stampInto walks the devices once and emits every stamp to the sink.
+// scale, when non-nil, multiplies device i's value by scale[i] — the
+// Monte-Carlo / corner re-stamping hook. It is the single source of truth
+// for the MNA stamps: Compile, restamp, and the sparsity pattern all run
+// through it.
+func (c *Circuit) stampInto(scale []float64, sink stampSink) error {
+	idx := func(node string) int {
+		if node == netlist.Ground {
+			return -1
+		}
+		return c.nodeIdx[node]
+	}
+	stamp2 := func(set func(r, cl int, v complex128), a, bn int, g complex128) {
+		if a >= 0 {
+			set(a, a, g)
+		}
+		if bn >= 0 {
+			set(bn, bn, g)
+		}
+		if a >= 0 && bn >= 0 {
+			set(a, bn, -g)
+			set(bn, a, -g)
+		}
+	}
+	stampVCCS := func(op, om, cp, cm int, gm complex128) {
+		add := func(r, cl int, v complex128) {
+			if r >= 0 && cl >= 0 {
+				sink.G(r, cl, v)
+			}
+		}
+		add(op, cp, gm)
+		add(op, cm, -gm)
+		add(om, cp, -gm)
+		add(om, cm, gm)
+	}
+
+	for di, d := range c.nl.Devices {
+		val := d.Value
+		if scale != nil {
+			val *= scale[di]
+		}
+		switch d.Kind {
+		case netlist.Resistor:
+			stamp2(sink.G, idx(d.Nodes[0]), idx(d.Nodes[1]), complex(1/val, 0))
+		case netlist.Capacitor:
+			stamp2(sink.C, idx(d.Nodes[0]), idx(d.Nodes[1]), complex(val, 0))
+		case netlist.VCCS:
+			stampVCCS(idx(d.Nodes[0]), idx(d.Nodes[1]), idx(d.Nodes[2]), idx(d.Nodes[3]), complex(val, 0))
+		case netlist.VSource:
+			k := c.branches[d.Name]
+			p, m := idx(d.Nodes[0]), idx(d.Nodes[1])
+			if p >= 0 {
+				sink.G(p, k, 1)
+				sink.G(k, p, 1)
+			}
+			if m >= 0 {
+				sink.G(m, k, -1)
+				sink.G(k, m, -1)
+			}
+			sink.B(k, complex(val, 0))
+		case netlist.VCVS:
+			k := c.branches[d.Name]
+			p, m := idx(d.Nodes[0]), idx(d.Nodes[1])
+			cp, cm := idx(d.Nodes[2]), idx(d.Nodes[3])
+			if p >= 0 {
+				sink.G(p, k, 1)
+				sink.G(k, p, 1)
+			}
+			if m >= 0 {
+				sink.G(m, k, -1)
+				sink.G(k, m, -1)
+			}
+			if cp >= 0 {
+				sink.G(k, cp, -complex(val, 0))
+			}
+			if cm >= 0 {
+				sink.G(k, cm, complex(val, 0))
+			}
+		case netlist.ISource:
+			p, m := idx(d.Nodes[0]), idx(d.Nodes[1])
+			// Current val flows from node p through the source into node m:
+			// it leaves the external circuit at p.
+			if p >= 0 {
+				sink.B(p, -complex(val, 0))
+			}
+			if m >= 0 {
+				sink.B(m, complex(val, 0))
+			}
+		default:
+			return fmt.Errorf("mna: unsupported device kind %v", d.Kind)
+		}
+	}
+	return nil
 }
 
 // Compile validates and compiles a netlist. Exactly the devices supported
@@ -41,7 +180,7 @@ func Compile(nl *netlist.Netlist) (*Circuit, error) {
 	if err := nl.Validate(); err != nil {
 		return nil, fmt.Errorf("mna: %w", err)
 	}
-	c := &Circuit{nl: nl, nodeIdx: map[string]int{}, branches: map[string]int{}}
+	c := &Circuit{nl: nl, nodeIdx: map[string]int{}, branches: map[string]int{}, deg: &degMemo{}}
 	for _, nd := range nl.NonGroundNodes() {
 		c.nodeIdx[nd] = c.nn
 		c.nodes = append(c.nodes, nd)
@@ -60,92 +199,103 @@ func Compile(nl *netlist.Netlist) (*Circuit, error) {
 	c.G = NewMatrix(n)
 	c.C = NewMatrix(n)
 	c.b = make([]complex128, n)
-
-	// idx returns the matrix row/column of a node, or -1 for ground.
-	idx := func(node string) int {
-		if node == netlist.Ground {
-			return -1
-		}
-		return c.nodeIdx[node]
-	}
-	stamp2 := func(m *Matrix, a, bn int, g complex128) {
-		if a >= 0 {
-			m.Add(a, a, g)
-		}
-		if bn >= 0 {
-			m.Add(bn, bn, g)
-		}
-		if a >= 0 && bn >= 0 {
-			m.Add(a, bn, -g)
-			m.Add(bn, a, -g)
-		}
-	}
-	stampVCCS := func(m *Matrix, op, om, cp, cm int, gm complex128) {
-		add := func(r, cl int, v complex128) {
-			if r >= 0 && cl >= 0 {
-				m.Add(r, cl, v)
-			}
-		}
-		add(op, cp, gm)
-		add(op, cm, -gm)
-		add(om, cp, -gm)
-		add(om, cm, gm)
-	}
-
-	for _, d := range nl.Devices {
-		switch d.Kind {
-		case netlist.Resistor:
-			stamp2(c.G, idx(d.Nodes[0]), idx(d.Nodes[1]), complex(1/d.Value, 0))
-		case netlist.Capacitor:
-			stamp2(c.C, idx(d.Nodes[0]), idx(d.Nodes[1]), complex(d.Value, 0))
-		case netlist.VCCS:
-			stampVCCS(c.G, idx(d.Nodes[0]), idx(d.Nodes[1]), idx(d.Nodes[2]), idx(d.Nodes[3]), complex(d.Value, 0))
-		case netlist.VSource:
-			k := c.branches[d.Name]
-			p, m := idx(d.Nodes[0]), idx(d.Nodes[1])
-			if p >= 0 {
-				c.G.Add(p, k, 1)
-				c.G.Add(k, p, 1)
-			}
-			if m >= 0 {
-				c.G.Add(m, k, -1)
-				c.G.Add(k, m, -1)
-			}
-			c.b[k] = complex(d.Value, 0)
-		case netlist.VCVS:
-			k := c.branches[d.Name]
-			p, m := idx(d.Nodes[0]), idx(d.Nodes[1])
-			cp, cm := idx(d.Nodes[2]), idx(d.Nodes[3])
-			if p >= 0 {
-				c.G.Add(p, k, 1)
-				c.G.Add(k, p, 1)
-			}
-			if m >= 0 {
-				c.G.Add(m, k, -1)
-				c.G.Add(k, m, -1)
-			}
-			if cp >= 0 {
-				c.G.Add(k, cp, -complex(d.Value, 0))
-			}
-			if cm >= 0 {
-				c.G.Add(k, cm, complex(d.Value, 0))
-			}
-		case netlist.ISource:
-			p, m := idx(d.Nodes[0]), idx(d.Nodes[1])
-			// Current d.Value flows from node p through the source into
-			// node m: it leaves the external circuit at p.
-			if p >= 0 {
-				c.b[p] -= complex(d.Value, 0)
-			}
-			if m >= 0 {
-				c.b[m] += complex(d.Value, 0)
-			}
-		default:
-			return nil, fmt.Errorf("mna: unsupported device kind %v", d.Kind)
-		}
+	if err := c.stampInto(nil, &matrixSink{g: c.G, c: c.C, b: c.b}); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
+
+// Restamped re-stamps the circuit's topology with per-device value scale
+// factors (scale[i] multiplies nl.Devices[i].Value) into a reusable target
+// circuit, allocating one when into is nil. The result shares the node
+// index, branch map, structural pattern, and degree memo with the base —
+// only matrix values are rebuilt — which is what makes Monte-Carlo and
+// corner sampling cheap: the symbolic work survives across samples.
+//
+// A restamped circuit is NOT immutable: it is owned by the goroutine that
+// restamps it, and in-flight Workspaces on it become stale after the next
+// Restamped call. Its netlist pointer still reports the base (unscaled)
+// device values.
+func (c *Circuit) Restamped(scale []float64, into *Circuit) (*Circuit, error) {
+	if len(scale) != len(c.nl.Devices) {
+		return nil, fmt.Errorf("mna: restamp scale length %d, want %d devices", len(scale), len(c.nl.Devices))
+	}
+	if into == nil {
+		n := c.Size()
+		into = &Circuit{
+			nl: c.nl, nodeIdx: c.nodeIdx, nodes: c.nodes, nn: c.nn, nb: c.nb,
+			branches: c.branches, deg: c.deg, pat: c.pattern(),
+			G: NewMatrix(n), C: NewMatrix(n), b: make([]complex128, n),
+		}
+	}
+	for i := range into.G.data {
+		into.G.data[i] = 0
+		into.C.data[i] = 0
+	}
+	for i := range into.b {
+		into.b[i] = 0
+	}
+	into.patMu.Lock()
+	into.spOK = false
+	into.patMu.Unlock()
+	if err := into.stampInto(scale, &matrixSink{g: into.G, c: into.C, b: into.b}); err != nil {
+		return nil, err
+	}
+	return into, nil
+}
+
+// pattern returns the structural CSC pattern of A = G + sC (union of the
+// G and C stamps), building it on first use. The pattern is immutable and
+// shared with Restamped variants.
+func (c *Circuit) pattern() *Pattern {
+	c.patMu.Lock()
+	defer c.patMu.Unlock()
+	if c.pat == nil {
+		ps := &patternSink{}
+		// stampInto cannot fail here: Compile already walked these devices.
+		_ = c.stampInto(nil, ps)
+		// Diagonal entries keep the pattern factorizable even when a node's
+		// only stamps are off-diagonal couplings that later cancel.
+		for i := 0; i < c.Size(); i++ {
+			ps.entry(i, i)
+		}
+		c.pat = NewPattern(c.Size(), ps.rows, ps.cols)
+	}
+	return c.pat
+}
+
+// sparseVals returns the pattern plus pattern-aligned complex G and C
+// value arrays, gathering them from the dense matrices on first use (and
+// again after a restamp). The returned slices are read-only shared state:
+// concurrent solvers may read them, but only the owner of a restamped
+// circuit may trigger a re-gather.
+func (c *Circuit) sparseVals() (*Pattern, []complex128, []complex128) {
+	pat := c.pattern()
+	c.patMu.Lock()
+	defer c.patMu.Unlock()
+	if !c.spOK {
+		if c.spG == nil {
+			c.spG = make([]complex128, pat.NNZ())
+			c.spC = make([]complex128, pat.NNZ())
+		}
+		for col := 0; col < pat.N; col++ {
+			for i := pat.ColPtr[col]; i < pat.ColPtr[col+1]; i++ {
+				c.spG[i] = c.G.At(pat.Rows[i], col)
+				c.spC[i] = c.C.At(pat.Rows[i], col)
+			}
+		}
+		c.spOK = true
+	}
+	return pat, c.spG, c.spC
+}
+
+// sparseACMinN is the system size at which the AC path switches from the
+// dense in-place LU to the sparse refactoring engine. Small behavioral
+// opamps (a handful of unknowns) stay dense — the dense kernel's tight
+// loops win below this point — while ladder-scale netlists go sparse.
+const sparseACMinN = 24
+
+func (c *Circuit) useSparseAC() bool { return c.Size() >= sparseACMinN }
 
 // Size returns the total number of MNA unknowns.
 func (c *Circuit) Size() int { return c.nn + c.nb }
@@ -163,14 +313,6 @@ func (c *Circuit) NodeIndex(node string) (int, error) {
 		return -1, fmt.Errorf("mna: unknown node %q", node)
 	}
 	return i, nil
-}
-
-// system assembles A(s) = G + sC into a fresh matrix (transient analysis
-// keeps factored copies alive, so it cannot use the pooled scratch).
-func (c *Circuit) system(s complex128) *Matrix {
-	a := NewMatrix(c.Size())
-	a.AddScaled(c.G, c.C, s)
-	return a
 }
 
 // SolveAt solves the MNA system at complex frequency s and returns the

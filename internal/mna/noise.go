@@ -90,7 +90,6 @@ func (c *Circuit) NoiseSweep(out string, fStart, fStop float64, perDecade int, o
 		return nil, fmt.Errorf("mna: circuit has no noise sources")
 	}
 
-	n := c.Size()
 	var freqs []float64
 	if fStart == fStop {
 		freqs = []float64{fStart}
@@ -99,15 +98,14 @@ func (c *Circuit) NoiseSweep(out string, fStart, fStop float64, perDecade int, o
 	}
 
 	// One workspace serves the whole sweep: each frequency is a single
-	// in-place factorization, each source one allocation-free solve.
+	// in-place factorization (sparse refactor on large systems), each
+	// source one allocation-free solve into workspace-owned scratch.
 	w := c.workspace()
 	defer c.release(w)
 	pts := make([]NoisePoint, 0, len(freqs))
-	rhs := make([]complex128, n)
-	x := make([]complex128, n)
+	rhs, x := w.noiseBuffers()
 	for _, f := range freqs {
-		lu := w.factorAt(Omega(f))
-		if !lu.OK() {
+		if err := w.prepareAt(Omega(f)); err != nil {
 			return nil, fmt.Errorf("mna: singular at %g Hz", f)
 		}
 		total := 0.0
@@ -123,7 +121,7 @@ func (c *Circuit) NoiseSweep(out string, fStart, fStop float64, perDecade int, o
 			if s.b >= 0 {
 				rhs[s.b] += 1
 			}
-			if err := lu.SolveInto(x, rhs); err != nil {
+			if err := w.solvePrepared(x, rhs); err != nil {
 				return nil, err
 			}
 			h := cmplx.Abs(x[j])

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sort"
+	"sync"
 )
 
 // detFunc evaluates a determinant-valued analytic function of s (the MNA
@@ -88,6 +89,25 @@ func newtonRatio(f detFunc, s complex128) complex128 {
 		return 0
 	}
 	return 1 / deriv // D/D'
+}
+
+// newtonRatioFwd is newtonRatio with a one-sided derivative — one fewer
+// determinant evaluation per call. The O(h) derivative error is ample for
+// polishing warm seeds whose verdict is certified by a 20× sign margin
+// (StableNear); the cold-start root finder keeps the central difference.
+func newtonRatioFwd(f detFunc, s complex128) complex128 {
+	h := 1e-7 * (cmplx.Abs(s) + 1)
+	d := f(s)
+	if d.Zero() {
+		return 0
+	}
+	dp := f(s + complex(h, 0))
+	rp := dp.Ratio(d)                 // D+/D
+	deriv := (rp - 1) / complex(h, 0) // D'/D
+	if deriv == 0 || cmplx.IsInf(deriv) || cmplx.IsNaN(deriv) {
+		return 0
+	}
+	return 1 / deriv
 }
 
 // aberth runs Aberth–Ehrlich simultaneous iteration for all deg roots of f.
@@ -202,46 +222,167 @@ func sortRoots(rs []complex128) {
 	})
 }
 
-// polesDegree returns the memoized degree of det(G + sC), probing it on
-// first use.
-func (c *Circuit) polesDegree(f detFunc) (int, error) {
-	c.degMu.Lock()
-	if c.polesOK {
-		d := c.polesDeg
-		c.degMu.Unlock()
+// degMemo memoizes the polynomial-degree probes for the root finder: the
+// degree of det(G+sC) (and of each output's Cramer numerator) is a
+// structural property of the topology, so six high-radius determinant
+// evaluations per Poles/Zeros call collapse to one probe — shared between
+// a compiled circuit and every Restamped variant of it, since value
+// perturbations move the roots but not the degree.
+type degMemo struct {
+	mu       sync.Mutex
+	polesDeg int
+	polesOK  bool
+	zerosDeg map[string]int
+}
+
+func (m *degMemo) poles(f detFunc) (int, error) {
+	m.mu.Lock()
+	if m.polesOK {
+		d := m.polesDeg
+		m.mu.Unlock()
 		return d, nil
 	}
-	c.degMu.Unlock()
+	m.mu.Unlock()
 	d, err := polyDegree(f)
 	if err != nil {
 		return 0, err
 	}
-	c.degMu.Lock()
-	c.polesDeg, c.polesOK = d, true
-	c.degMu.Unlock()
+	m.mu.Lock()
+	m.polesDeg, m.polesOK = d, true
+	m.mu.Unlock()
 	return d, nil
 }
+
+func (m *degMemo) zeros(out string, f detFunc) (int, error) {
+	m.mu.Lock()
+	if d, ok := m.zerosDeg[out]; ok {
+		m.mu.Unlock()
+		return d, nil
+	}
+	m.mu.Unlock()
+	d, err := polyDegree(f)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	if m.zerosDeg == nil {
+		m.zerosDeg = map[string]int{}
+	}
+	m.zerosDeg[out] = d
+	m.mu.Unlock()
+	return d, nil
+}
+
+// polesDegree returns the memoized degree of det(G + sC), probing it on
+// first use.
+func (c *Circuit) polesDegree(f detFunc) (int, error) { return c.deg.poles(f) }
 
 // zerosDegree returns the memoized Cramer-numerator degree for one output
 // node.
 func (c *Circuit) zerosDegree(out string, f detFunc) (int, error) {
-	c.degMu.Lock()
-	if d, ok := c.zerosDeg[out]; ok {
-		c.degMu.Unlock()
-		return d, nil
+	return c.deg.zeros(out, f)
+}
+
+// StableNear classifies the circuit's stability by polishing a set of
+// warm-start pole seeds (typically the nominal design's poles) with
+// Aberth iteration on this circuit's determinant. It is the fast path for
+// Monte-Carlo stability checks: a perturbed sample's poles sit close to
+// the nominal ones, so a few polish iterations settle where a cold-start
+// root find needs hundreds.
+//
+// It returns ok=false — caller must fall back to a full root find — when
+// the polish does not settle, a root fails the residual check, or any
+// root's real-part sign is ambiguous at the polished accuracy. When
+// ok=true, stable reports whether every pole is in the closed left half
+// plane (Re ≤ 0 up to the residual scale), matching Analyze's convention.
+func (c *Circuit) StableNear(seeds []complex128) (stable, ok bool) {
+	if len(seeds) == 0 {
+		return false, false
 	}
-	c.degMu.Unlock()
-	d, err := polyDegree(f)
-	if err != nil {
-		return 0, err
+	w := c.workspace()
+	defer c.release(w)
+	f := func(s complex128) ScaledDet { return w.DetAt(s) }
+	roots := append(make([]complex128, 0, len(seeds)), seeds...)
+	steps := make([]float64, len(roots))
+	const polishMaxIter = 24
+	settled := false
+	for iter := 0; iter < polishMaxIter; iter++ {
+		maxStep := 0.0
+		for i := range roots {
+			steps[i] = 0
+			ni := newtonRatioFwd(f, roots[i])
+			if ni == 0 {
+				continue
+			}
+			sum := complex(0, 0)
+			for j := range roots {
+				if j != i {
+					d := roots[i] - roots[j]
+					if d == 0 {
+						d = complex(1e-30, 1e-30)
+					}
+					sum += 1 / d
+				}
+			}
+			den := 1 - ni*sum
+			if den == 0 {
+				continue
+			}
+			wstep := ni / den
+			roots[i] -= wstep
+			steps[i] = cmplx.Abs(wstep)
+			if rel := steps[i] / (cmplx.Abs(roots[i]) + 1e-3); rel > maxStep {
+				maxStep = rel
+			}
+		}
+		if maxStep < aberthTol {
+			settled = true
+			break
+		}
+		// Sign-certainty early exit: near a simple root the Newton step
+		// bounds the remaining error, so once every root's last step is far
+		// smaller than the distance to the imaginary axis, further polish
+		// cannot change any real-part sign. Require at least two sweeps and
+		// an overall contracting iteration before trusting the bound.
+		if iter >= 1 && maxStep < 1e-3 {
+			certain := true
+			stable = true
+			for i, r := range roots {
+				if math.Abs(real(r)) <= 20*steps[i] {
+					certain = false
+					break
+				}
+				if real(r) > 0 {
+					stable = false
+				}
+			}
+			if certain {
+				return stable, true
+			}
+		}
 	}
-	c.degMu.Lock()
-	if c.zerosDeg == nil {
-		c.zerosDeg = map[string]int{}
+	if !settled {
+		return false, false
 	}
-	c.zerosDeg[out] = d
-	c.degMu.Unlock()
-	return d, nil
+	stable = true
+	for _, r := range roots {
+		resid := cmplx.Abs(newtonRatio(f, r))
+		if resid > aberthResidTol*(cmplx.Abs(r)+1) {
+			return false, false
+		}
+		// Sign certainty: the remaining root error is on the order of the
+		// Newton step; a real part inside that band could be either sign,
+		// so hand the sample to the full (slow) analysis instead of
+		// guessing.
+		margin := 10 * resid
+		if math.Abs(real(r)) <= margin {
+			return false, false
+		}
+		if real(r) > 0 {
+			stable = false
+		}
+	}
+	return stable, true
 }
 
 // Poles returns the natural frequencies of the circuit: the roots of

@@ -14,6 +14,17 @@ import (
 // current. SatLimits models this by replacing selected VCCS elements'
 // i = gm·v characteristic with the smooth saturating
 // i = Imax·tanh(gm·v/Imax), solved by Newton iteration at each timestep.
+//
+// The integrator runs on the sparse real engine: the circuit's structural
+// pattern is analyzed once, the companion matrix is factored once, and
+// each step (or Newton Jacobian refresh) is a numeric Refactor replaying
+// the recorded pivot sequence. All step state lives in a per-circuit
+// pooled scratch, so steady-state integration performs no allocations
+// beyond the returned waveform. The Newton Jacobian is additionally
+// frozen across iterations and steps while the saturating devices'
+// effective transconductances hold still (within jacDriftTol), which
+// collapses the settled tail of a step response to one refactor-free
+// chord iteration per step.
 
 // TranOpts configures a transient run.
 type TranOpts struct {
@@ -38,12 +49,78 @@ type TranPoint struct {
 	V float64 // voltage of the observed node
 }
 
-// vccsInfo caches a saturating transconductor's stamp geometry.
+// vccsInfo caches a saturating transconductor's stamp geometry: matrix
+// indices (-1 for ground) and the pattern slots of its four G stamps
+// (filled by Transient once the pattern is known; -1 where a terminal is
+// grounded).
 type vccsInfo struct {
 	name           string
-	op, om, cp, cm int // matrix indices, -1 for ground
+	op, om, cp, cm int
 	gm             float64
 	imax           float64
+	slot           [4]int // pattern indices of (op,cp) (op,cm) (om,cp) (om,cm)
+}
+
+// jacDriftTol is the relative effective-transconductance drift that
+// triggers a Newton Jacobian refresh. Below it the chord iteration's
+// contraction factor is ~jacDriftTol per iteration, so a frozen Jacobian
+// still reaches the 1e-9 default tolerance in two iterations.
+const jacDriftTol = 1e-5
+
+// stepRoundTol absorbs float rounding in the step-count computation so a
+// window that is a whole multiple of Dt (up to roundoff) does not gain a
+// spurious final micro-step.
+const stepRoundTol = 1e-9
+
+// tranScratch is the pooled per-circuit transient engine state: the
+// analyzed factorization plus every pattern-aligned value array and step
+// vector. One scratch serves one Transient call at a time; the pool hands
+// it back for the next call so repeated integrations on a circuit reach
+// zero steady-state allocations.
+type tranScratch struct {
+	pat *Pattern
+	lu  SparseLU[float64]
+
+	gv, cv  []float64 // pattern-aligned Re(G_lin), Re(C)
+	aBase   []float64 // gv + (2/h)·cv at the current step size
+	jacV    []float64 // aBase + sat geff stamps
+	bReal   []float64
+	hasC    []bool
+	x, xNew []float64
+	cdx, cx []float64
+	rhs, f  []float64
+	dx      []float64
+
+	satTanh  []float64
+	lastGeff []float64
+}
+
+func (ts *tranScratch) ensure(pat *Pattern, nSats int) {
+	n, nnz := pat.N, pat.NNZ()
+	if ts.pat != pat {
+		ts.pat = pat
+		ts.lu.Analyze(pat, absReal)
+		ts.gv = make([]float64, nnz)
+		ts.cv = make([]float64, nnz)
+		ts.aBase = make([]float64, nnz)
+		ts.jacV = make([]float64, nnz)
+		vecs := make([]float64, 8*n)
+		ts.bReal, vecs = vecs[:n], vecs[n:]
+		ts.x, vecs = vecs[:n], vecs[n:]
+		ts.xNew, vecs = vecs[:n], vecs[n:]
+		ts.cdx, vecs = vecs[:n], vecs[n:]
+		ts.cx, vecs = vecs[:n], vecs[n:]
+		ts.rhs, vecs = vecs[:n], vecs[n:]
+		ts.f, vecs = vecs[:n], vecs[n:]
+		ts.dx = vecs[:n]
+		ts.hasC = make([]bool, n)
+	}
+	if cap(ts.satTanh) < nSats {
+		ts.satTanh = make([]float64, nSats)
+		ts.lastGeff = make([]float64, nSats)
+	}
+	ts.satTanh = ts.satTanh[:nSats]
+	ts.lastGeff = ts.lastGeff[:nSats]
 }
 
 // Transient integrates the circuit and returns the waveform of node out.
@@ -70,13 +147,75 @@ func (c *Circuit) Transient(out string, opts TranOpts) ([]TranPoint, error) {
 		return nil, err
 	}
 
-	n := c.Size()
+	pat := c.pattern()
+	ts, _ := c.tranPool.Get().(*tranScratch)
+	if ts == nil {
+		ts = &tranScratch{}
+	}
+	defer c.tranPool.Put(ts)
+	ts.ensure(pat, len(sats))
+	n := pat.N
 	h := opts.Dt
-	// Linear part: remove saturating VCCS stamps from G (they are applied
-	// nonlinearly instead).
-	gLin := c.G.Clone()
-	for _, s := range sats {
-		stampVCCS4(gLin, s.op, s.om, s.cp, s.cm, complex(-s.gm, 0))
+
+	// Gather the linear part: Re(G) with the saturating VCCS stamps
+	// removed (they are applied nonlinearly instead), plus Re(C).
+	for col := 0; col < n; col++ {
+		for i := pat.ColPtr[col]; i < pat.ColPtr[col+1]; i++ {
+			ts.gv[i] = real(c.G.At(pat.Rows[i], col))
+			ts.cv[i] = real(c.C.At(pat.Rows[i], col))
+		}
+	}
+	for si := range sats {
+		s := &sats[si]
+		resolve := func(r, cl int) int {
+			if r < 0 || cl < 0 {
+				return -1
+			}
+			return pat.Index(r, cl)
+		}
+		s.slot = [4]int{
+			resolve(s.op, s.cp), resolve(s.op, s.cm),
+			resolve(s.om, s.cp), resolve(s.om, s.cm),
+		}
+		addGeffStamps(ts.gv, s, -s.gm)
+	}
+	for r := range ts.hasC {
+		ts.hasC[r] = false
+	}
+	for col := 0; col < n; col++ {
+		for i := pat.ColPtr[col]; i < pat.ColPtr[col+1]; i++ {
+			if ts.cv[i] != 0 {
+				ts.hasC[pat.Rows[i]] = true
+			}
+		}
+	}
+	for i, v := range c.b {
+		ts.bReal[i] = real(v)
+	}
+
+	// Consistent initialization at t = 0⁺: capacitor voltages start at
+	// zero but the algebraic variables (source rows, resistive nodes)
+	// must already satisfy their constraints. A single backward-Euler
+	// micro-step from the all-zero state — (G + C/δ)x = b·u(0) with
+	// δ ≪ h — pins the capacitor voltages while solving the algebraic
+	// part exactly. A singular init system means no consistent state
+	// exists and the whole waveform would be garbage, so it is an error,
+	// exactly like the main-loop solves.
+	{
+		delta := h * 1e-9
+		for i := range ts.jacV { // jacV doubles as the init value scratch
+			ts.jacV[i] = ts.gv[i] + ts.cv[i]/delta
+		}
+		if !ts.lu.Factor(ts.jacV) {
+			return nil, fmt.Errorf("mna: transient consistent initialization singular (dt=%g)", h)
+		}
+		u0 := opts.Input(0)
+		for i := range ts.rhs {
+			ts.rhs[i] = ts.bReal[i] * u0
+		}
+		if err := ts.lu.SolveInto(ts.x, ts.rhs); err != nil {
+			return nil, fmt.Errorf("mna: transient consistent initialization: %w", err)
+		}
 	}
 
 	// Companion-model trapezoidal form: capacitors integrate with the
@@ -88,133 +227,113 @@ func (c *Circuit) Transient(out string, opts TranOpts) ([]TranPoint, error) {
 	//
 	// with the derivative term obtained from the previous collocation,
 	// C·x'_n = b(t_n) − G·x_n − i_sat(x_n).
-	aBase := NewMatrix(n)
-	for r := 0; r < n; r++ {
-		for cI := 0; cI < n; cI++ {
-			aBase.Set(r, cI, gLin.At(r, cI)+c.C.At(r, cI)*complex(2/h, 0))
+	setBase := func(hs float64) {
+		r := 2 / hs
+		for i := range ts.aBase {
+			ts.aBase[i] = ts.gv[i] + r*ts.cv[i]
 		}
 	}
-	var luConst *LU
+	setBase(h)
+	jacFresh := false
 	if len(sats) == 0 {
-		luConst = Factor(aBase)
-		if !luConst.OK() {
+		if !ts.lu.Refactor(ts.aBase) {
 			return nil, fmt.Errorf("mna: transient system singular at dt=%g", h)
 		}
+		jacFresh = true
 	}
 
-	bReal := make([]float64, n)
-	for i, v := range c.b {
-		bReal[i] = real(v)
+	// The final sample is clamped to TEnd: a window that is not a whole
+	// multiple of Dt ends with one shorter step rather than overshooting
+	// past the requested end time.
+	steps := int(math.Ceil(opts.TEnd/h - stepRoundTol))
+	if steps < 1 {
+		steps = 1
 	}
-
-	// Consistent initialization at t = 0⁺: capacitor voltages start at
-	// zero but the algebraic variables (source rows, resistive nodes)
-	// must already satisfy their constraints. A single backward-Euler
-	// micro-step from the all-zero state — (G + C/δ)x = b·u(0) with
-	// δ ≪ h — pins the capacitor voltages while solving the algebraic
-	// part exactly.
-	x := make([]float64, n)
-	{
-		delta := h * 1e-9
-		init := NewMatrix(n)
-		for r := 0; r < n; r++ {
-			for cI := 0; cI < n; cI++ {
-				init.Set(r, cI, gLin.At(r, cI)+c.C.At(r, cI)/complex(delta, 0))
-			}
-		}
-		b0 := make([]complex128, n)
-		u0 := opts.Input(0)
-		for i := range b0 {
-			b0[i] = complex(bReal[i]*u0, 0)
-		}
-		if x0, err := Factor(init).Solve(b0); err == nil {
-			x = toReal(x0)
-		}
-	}
-
-	steps := int(math.Ceil(opts.TEnd / h))
 	pts := make([]TranPoint, 0, steps+1)
-	pts = append(pts, TranPoint{0, x[j]})
-	gLinR := realMatrix(gLin)
-	cR := realMatrix(c.C)
+	pts = append(pts, TranPoint{0, ts.x[j]})
 
+	hs := h
 	for s := 1; s <= steps; s++ {
 		t0 := float64(s-1) * h
 		t1 := float64(s) * h
+		if s == steps {
+			t1 = opts.TEnd
+			if last := opts.TEnd - t0; last < hs*(1-1e-12) {
+				hs = last
+				setBase(hs)
+				jacFresh = false
+				if len(sats) == 0 {
+					if !ts.lu.Refactor(ts.aBase) {
+						return nil, fmt.Errorf("mna: transient system singular at dt=%g", hs)
+					}
+					jacFresh = true
+				}
+			}
+		}
 		u0, u1 := opts.Input(t0), opts.Input(t1)
 
 		// cdx = C·x'_n = b(t_n) − G_lin·x_n − i_sat(x_n).
-		cdx := make([]float64, n)
-		for r := 0; r < n; r++ {
-			acc := bReal[r] * u0
-			for cI := 0; cI < n; cI++ {
-				acc -= gLinR[r][cI] * x[cI]
-			}
-			cdx[r] = acc
+		for r := range ts.cdx {
+			ts.cdx[r] = ts.bReal[r] * u0
 		}
-		addSatCurrents(cdx, sats, x, -1)
+		matVecSub(ts.cdx, pat, ts.gv, ts.x)
+		addSatCurrents(ts.cdx, sats, ts.x, -1, nil)
 
-		// rhs = b(t_{n+1}) + (2C/h)·x_n + C·x'_n, masked to C rows for
-		// the history terms (cdx is already zero on algebraic rows only
-		// if the collocation held; mask explicitly for robustness).
-		rhs := make([]float64, n)
-		for r := 0; r < n; r++ {
-			acc := bReal[r] * u1
-			hasC := false
-			for cI := 0; cI < n; cI++ {
-				if cR[r][cI] != 0 {
-					hasC = true
-					acc += (2 / h) * cR[r][cI] * x[cI]
-				}
+		// rhs = b(t_{n+1}) + (2C/h)·x_n + C·x'_n, with the history terms
+		// masked to rows that have capacitor stamps (algebraic rows stay
+		// exact collocations of the new time point).
+		for r := range ts.cx {
+			ts.cx[r] = 0
+		}
+		matVecAdd(ts.cx, pat, ts.cv, ts.x)
+		rh := 2 / hs
+		for r := range ts.rhs {
+			v := ts.bReal[r] * u1
+			if ts.hasC[r] {
+				v += rh*ts.cx[r] + ts.cdx[r]
 			}
-			if hasC {
-				acc += cdx[r]
-			}
-			rhs[r] = acc
+			ts.rhs[r] = v
 		}
 
-		xNew := append([]float64(nil), x...)
 		if len(sats) == 0 {
-			xc, err := luConst.Solve(toComplex(rhs))
-			if err != nil {
+			if err := ts.lu.SolveInto(ts.xNew, ts.rhs); err != nil {
 				return nil, err
 			}
-			xNew = toReal(xc)
 		} else {
-			// Newton on F(x) = (G_lin + 2C/h)x + i_sat(x) − rhs = 0.
+			// Newton on F(x) = (G_lin + 2C/h)x + i_sat(x) − rhs = 0, with
+			// the previous step as predictor and a drift-gated frozen
+			// Jacobian (see jacDriftTol).
+			copy(ts.xNew, ts.x)
 			converged := false
 			for it := 0; it < opts.MaxNewton; it++ {
-				f := make([]float64, n)
-				for r := 0; r < n; r++ {
-					acc := -rhs[r]
-					for cI := 0; cI < n; cI++ {
-						acc += (gLinR[r][cI] + (2/h)*cR[r][cI]) * xNew[cI]
+				for r := range ts.f {
+					ts.f[r] = -ts.rhs[r]
+				}
+				matVecAdd(ts.f, pat, ts.aBase, ts.xNew)
+				addSatCurrents(ts.f, sats, ts.xNew, 1, ts.satTanh)
+				refresh := !jacFresh
+				for si := range sats {
+					geff := sats[si].gm * (1 - ts.satTanh[si]*ts.satTanh[si])
+					if math.Abs(geff-ts.lastGeff[si]) > jacDriftTol*sats[si].gm {
+						refresh = true
 					}
-					f[r] = acc
 				}
-				addSatCurrents(f, sats, xNew, 1)
-				// Jacobian = aBase + d i_sat/dx.
-				jac := aBase.Clone()
-				for _, sd := range sats {
-					v := ctrlVoltage(xNew, sd)
-					geff := sd.gm * sech2(sd.gm*v/sd.imax)
-					stampVCCS4(jac, sd.op, sd.om, sd.cp, sd.cm, complex(geff, 0))
+				if refresh {
+					copy(ts.jacV, ts.aBase)
+					for si := range sats {
+						geff := sats[si].gm * (1 - ts.satTanh[si]*ts.satTanh[si])
+						ts.lastGeff[si] = geff
+						addGeffStamps(ts.jacV, &sats[si], geff)
+					}
+					if !ts.lu.Refactor(ts.jacV) {
+						return nil, fmt.Errorf("mna: transient Newton singular at t=%g", t1)
+					}
+					jacFresh = true
 				}
-				lu := Factor(jac)
-				dx, err := lu.Solve(toComplex(negate(f)))
-				if err != nil {
+				if err := ts.lu.SolveInto(ts.dx, ts.f); err != nil {
 					return nil, fmt.Errorf("mna: transient Newton singular at t=%g", t1)
 				}
-				maxRel := 0.0
-				for i := range xNew {
-					d := real(dx[i])
-					xNew[i] += d
-					rel := math.Abs(d) / (math.Abs(xNew[i]) + 1e-6)
-					if rel > maxRel {
-						maxRel = rel
-					}
-				}
-				if maxRel < opts.Tol {
+				if newtonStepApply(ts.xNew, ts.dx) < opts.Tol {
 					converged = true
 					break
 				}
@@ -223,10 +342,30 @@ func (c *Circuit) Transient(out string, opts TranOpts) ([]TranPoint, error) {
 				return nil, fmt.Errorf("mna: transient Newton did not converge at t=%g", t1)
 			}
 		}
-		x = xNew
-		pts = append(pts, TranPoint{t1, x[j]})
+		copy(ts.x, ts.xNew)
+		pts = append(pts, TranPoint{t1, ts.x[j]})
 	}
 	return pts, nil
+}
+
+// newtonStepApply applies the Newton update to x in place (x ← x − dx,
+// where J·dx = F(x)) and returns the maximum relative step. The relative
+// denominator is the PRE-update iterate: dividing by the post-update
+// value would let a step that exactly cancels a component read as
+// converged (|d|/(≈0 + ε) is huge only if ε is the floor — with the old
+// post-update form, |d|/(|x−d|+ε) collapses when x−d ≈ 0 despite the
+// iterate moving by its whole magnitude).
+func newtonStepApply(x, dx []float64) float64 {
+	maxRel := 0.0
+	for i := range x {
+		d := dx[i]
+		rel := math.Abs(d) / (math.Abs(x[i]) + 1e-6)
+		x[i] -= d
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel
 }
 
 // satDevices resolves SatLimits names to stamp geometry.
@@ -265,20 +404,24 @@ func (c *Circuit) satDevices(limits map[string]float64) ([]vccsInfo, error) {
 	return out, nil
 }
 
-// stampVCCS4 adds the four-entry VCCS pattern with transconductance g.
-func stampVCCS4(m *Matrix, op, om, cp, cm int, g complex128) {
-	add := func(r, cl int, v complex128) {
-		if r >= 0 && cl >= 0 {
-			m.Add(r, cl, v)
-		}
+// addGeffStamps accumulates a VCCS four-entry stamp of transconductance g
+// into a pattern-aligned value array via the device's resolved slots.
+func addGeffStamps(vals []float64, s *vccsInfo, g float64) {
+	if i := s.slot[0]; i >= 0 {
+		vals[i] += g
 	}
-	add(op, cp, g)
-	add(op, cm, -g)
-	add(om, cp, -g)
-	add(om, cm, g)
+	if i := s.slot[1]; i >= 0 {
+		vals[i] -= g
+	}
+	if i := s.slot[2]; i >= 0 {
+		vals[i] -= g
+	}
+	if i := s.slot[3]; i >= 0 {
+		vals[i] += g
+	}
 }
 
-func ctrlVoltage(x []float64, s vccsInfo) float64 {
+func ctrlVoltage(x []float64, s *vccsInfo) float64 {
 	v := 0.0
 	if s.cp >= 0 {
 		v += x[s.cp]
@@ -291,11 +434,18 @@ func ctrlVoltage(x []float64, s vccsInfo) float64 {
 
 // addSatCurrents accumulates w·i_sat(x) into f at the output nodes.
 // Convention matches the linear stamp: current i leaves node op and
-// enters om, i.e. KCL rows get +i at op and −i at om.
-func addSatCurrents(f []float64, sats []vccsInfo, x []float64, w float64) {
-	for _, s := range sats {
+// enters om, i.e. KCL rows get +i at op and −i at om. When th is non-nil
+// it receives each device's tanh operating point, from which the Newton
+// loop derives the effective transconductance gm·(1 − tanh²) for free.
+func addSatCurrents(f []float64, sats []vccsInfo, x []float64, w float64, th []float64) {
+	for si := range sats {
+		s := &sats[si]
 		v := ctrlVoltage(x, s)
-		i := s.imax * math.Tanh(s.gm*v/s.imax)
+		t := math.Tanh(s.gm * v / s.imax)
+		if th != nil {
+			th[si] = t
+		}
+		i := s.imax * t
 		if s.op >= 0 {
 			f[s.op] += w * i
 		}
@@ -303,44 +453,4 @@ func addSatCurrents(f []float64, sats []vccsInfo, x []float64, w float64) {
 			f[s.om] -= w * i
 		}
 	}
-}
-
-func sech2(x float64) float64 {
-	c := math.Cosh(x)
-	return 1 / (c * c)
-}
-
-func realMatrix(m *Matrix) [][]float64 {
-	out := make([][]float64, m.N)
-	for r := 0; r < m.N; r++ {
-		out[r] = make([]float64, m.N)
-		for cI := 0; cI < m.N; cI++ {
-			out[r][cI] = real(m.At(r, cI))
-		}
-	}
-	return out
-}
-
-func toComplex(v []float64) []complex128 {
-	out := make([]complex128, len(v))
-	for i, x := range v {
-		out[i] = complex(x, 0)
-	}
-	return out
-}
-
-func toReal(v []complex128) []float64 {
-	out := make([]float64, len(v))
-	for i, x := range v {
-		out[i] = real(x)
-	}
-	return out
-}
-
-func negate(v []float64) []float64 {
-	out := make([]float64, len(v))
-	for i, x := range v {
-		out[i] = -x
-	}
-	return out
 }

@@ -9,6 +9,13 @@ import "fmt"
 // root finder, noise solves — is one assemble + factor in this scratch,
 // so steady-state use performs zero allocations.
 //
+// For systems of sparseACMinN unknowns or more, the solve path switches
+// to the sparse engine: the structural pattern is analyzed once (shared
+// circuit-wide), the first solve runs a pivoting Factor, and every later
+// frequency point is a numeric Refactor replaying the recorded pivot
+// sequence. Determinant evaluations stay on the dense kernel, which the
+// root finder's scaled-determinant bookkeeping is built around.
+//
 // Ownership and goroutine-safety rules (see DESIGN.md):
 //
 //   - A Workspace is bound to the Circuit that created it and is NOT safe
@@ -18,12 +25,23 @@ import "fmt"
 //     only until the next call on the same Workspace; callers that need
 //     the values longer must copy them.
 //   - The Circuit itself stays immutable after Compile, so any number of
-//     Workspaces may solve the same Circuit concurrently.
+//     Workspaces may solve the same Circuit concurrently. Restamped
+//     circuits are the exception: their owner must not restamp while a
+//     solve is in flight.
 type Workspace struct {
 	c  *Circuit
 	a  *Matrix // assembled A(s); overwritten by the in-place LU
 	lu LU
 	x  []complex128 // solution buffer returned by SolveAt
+
+	// Sparse AC path scratch (used when c.useSparseAC()).
+	spVals []complex128
+	spLU   SparseLU[complex128]
+	spInit bool
+
+	// Noise-analysis scratch (rhs + per-source solution).
+	rhs []complex128
+	xn  []complex128
 }
 
 // NewWorkspace allocates a solver workspace for the circuit. The pooled
@@ -38,20 +56,58 @@ func (c *Circuit) NewWorkspace() *Workspace {
 	return w
 }
 
-// factorAt assembles A(s) = G + sC into the scratch matrix and factors it
-// in place.
+// factorAt assembles A(s) = G + sC into the dense scratch matrix and
+// factors it in place (the determinant path is always dense).
 func (w *Workspace) factorAt(s complex128) *LU {
 	w.a.AddScaled(w.c.G, w.c.C, s)
 	w.lu.FactorInto(w.a)
 	return &w.lu
 }
 
+// prepareAt factors A(s) in whichever engine the circuit size selects,
+// leaving the workspace ready for solvePrepared calls at that frequency.
+// Noise analysis uses this split to factor once and back-solve once per
+// source.
+func (w *Workspace) prepareAt(s complex128) error {
+	if w.c.useSparseAC() {
+		pat, gv, cv := w.c.sparseVals()
+		if !w.spInit {
+			w.spLU.Analyze(pat, absCmplx)
+			w.spVals = make([]complex128, pat.NNZ())
+			w.spInit = true
+		}
+		for i := range w.spVals {
+			w.spVals[i] = gv[i] + s*cv[i]
+		}
+		if !w.spLU.Refactor(w.spVals) {
+			return fmt.Errorf("mna: singular matrix")
+		}
+		return nil
+	}
+	w.factorAt(s)
+	if !w.lu.OK() {
+		return fmt.Errorf("mna: singular matrix")
+	}
+	return nil
+}
+
+// solvePrepared back-substitutes one right-hand side through the
+// factorization left by the last successful prepareAt. x and b may alias.
+func (w *Workspace) solvePrepared(x, b []complex128) error {
+	if w.c.useSparseAC() {
+		return w.spLU.SolveInto(x, b)
+	}
+	return w.lu.SolveInto(x, b)
+}
+
 // SolveAt solves the MNA system at complex frequency s. The returned
 // slice (node voltages then branch currents) is workspace-owned: it is
 // overwritten by the next call.
 func (w *Workspace) SolveAt(s complex128) ([]complex128, error) {
-	lu := w.factorAt(s)
-	if err := lu.SolveInto(w.x, w.c.b); err != nil {
+	if err := w.prepareAt(s); err != nil {
+		return nil, fmt.Errorf("mna: solve at s=%v: %w", s, err)
+	}
+	if err := w.solvePrepared(w.x, w.c.b); err != nil {
 		return nil, fmt.Errorf("mna: solve at s=%v: %w", s, err)
 	}
 	return w.x, nil
@@ -76,6 +132,17 @@ func (w *Workspace) NumerDetAt(node string, s complex128) (ScaledDet, error) {
 	}
 	w.lu.FactorInto(w.a)
 	return w.lu.Det(), nil
+}
+
+// noiseBuffers returns the workspace-owned rhs and solution scratch for
+// noise analysis, allocating on first use.
+func (w *Workspace) noiseBuffers() (rhs, x []complex128) {
+	if w.rhs == nil {
+		n := w.c.Size()
+		w.rhs = make([]complex128, n)
+		w.xn = make([]complex128, n)
+	}
+	return w.rhs, w.xn
 }
 
 // workspace checks a Workspace out of the circuit's pool (allocating one

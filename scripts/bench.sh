@@ -13,10 +13,20 @@ set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH.json}"
 baseline="${2:-}"
+hot='^Benchmark(MNASolve|CircuitSolveAt|CircuitSweep|PoleZero|NoiseSweep|Fig1Skeleton|TransientStep|MonteCarloYield)'
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -bench . -benchmem -benchtime 50x -run '^$' . | tee "$tmp"
+
+# Re-run the gated hot-path benchmarks time-based: 50 iterations of a
+# sub-microsecond benchmark measure scheduler noise, not the solver.
+# The awk below records the per-name MINIMUM over every sighting (the
+# 50x entry plus these -count reruns) — the sample least disturbed by
+# co-tenant noise — so recorded values are reproducible floors rather
+# than lucky or unlucky single samples. Calibration rides along so the
+# record carries this run's host speed.
+go test -bench "(${hot}|^BenchmarkCalibration)\$" -benchmem -benchtime 1s -count 3 -run '^$' . | tee -a "$tmp"
 
 awk '
 /^Benchmark/ {
@@ -28,11 +38,30 @@ awk '
         if ($i == "allocs/op") allocs = $(i - 1)
     }
     if (ns == "") next
-    if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"ns_op\": %s, \"allocs_op\": %s}", name, ns, (allocs == "" ? "0" : allocs)
+    if (allocs == "") allocs = "0"
+    # Minimum over all sightings (the 50x full-suite entry plus the
+    # -count time-based reruns). Interference on the shared host only
+    # ever adds time, so the minimum is the cleanest floor estimate; the
+    # runs are spread over a couple of minutes, so a single co-tenant
+    # burst cannot poison every sample of a benchmark.
+    if (!(name in seen)) {
+        order[++n] = name; seen[name] = 1
+        NS[name] = ns
+        AL[name] = allocs
+        next
+    }
+    if (ns + 0 < NS[name] + 0) NS[name] = ns
+    if (allocs + 0 < AL[name] + 0) AL[name] = allocs
 }
 BEGIN { printf "[\n" }
-END { printf "\n]\n" }
+END {
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "  {\"name\": \"%s\", \"ns_op\": %s, \"allocs_op\": %s}%s\n", \
+            name, NS[name], AL[name], (i < n ? "," : "")
+    }
+    printf "]\n"
+}
 ' "$tmp" > "$out"
 
 # Serving-layer benchmark: replay a seeded duplicate-heavy workload
@@ -87,7 +116,7 @@ if [ -n "$baseline" ]; then
     # The gate covers the simulation hot path only: agent/experiment
     # benchmarks are dominated by modeled LLM behavior and too noisy at
     # -benchtime 1x to gate on.
-    awk -v hot='^Benchmark(MNASolve|CircuitSolveAt|CircuitSweep|PoleZero|NoiseSweep|Fig1Skeleton|TransientStep)' '
+    awk -v hot="$hot" '
     function field(line, key,   rest) {
         rest = line
         sub(".*\"" key "\": *", "", rest)
@@ -96,24 +125,71 @@ if [ -n "$baseline" ]; then
     }
     /"name"/ {
         name = field($0, "name")
-        sub("\".*", "", name)  # strip trailing quote remnants
         gsub("\"", "", name)
         ns = field($0, "ns_op") + 0
         al = field($0, "allocs_op") + 0
         if (FNR == NR) { base_ns[name] = ns; base_al[name] = al; next }
-        if (name !~ hot || !(name in base_ns)) next
-        if (ns > 1.2 * base_ns[name]) {
-            printf "bench: REGRESSION %s ns/op %g -> %g (>20%%)\n", name, base_ns[name], ns
-            bad = 1
-        }
-        if (al > 1.2 * base_al[name] && al > base_al[name] + 2) {
-            printf "bench: REGRESSION %s allocs/op %g -> %g (>20%%)\n", name, base_al[name], al
-            bad = 1
-        }
-        printf "bench: %-28s ns/op %12g -> %12g (%.2fx)  allocs %8g -> %8g\n", \
-            name, base_ns[name], ns, (ns > 0 ? base_ns[name] / ns : 0), base_al[name], al
+        cur_ns[name] = ns
+        cur_al[name] = al
+        order[++n] = name
     }
-    END { exit bad }
+    END {
+        # Host-speed normalization. Two independent drift estimates:
+        #
+        #   - calibration: the ns/op ratio of the pure-CPU calibration
+        #     benchmark between the two records — tracks clock-speed
+        #     drift of the shared host, when both records carry it;
+        #   - median-ratio: the median ns/op ratio over the gated cohort,
+        #     excluding >20% speedups (those are code changes, not drift)
+        #     — tracks memory/GC-subsystem drag from co-tenant load that
+        #     a cache-resident FP loop cannot see.
+        #
+        # The gate scales the baseline by the LOOSER of the two: an
+        # isolated real regression moves neither estimate, while uniform
+        # host slowdowns move at least one. A uniform whole-cohort code
+        # regression could hide in the median — the printed scale line
+        # exists so a reviewer spots a median far above the calibration.
+        cal = 0
+        if (base_ns["BenchmarkCalibration"] > 0 && cur_ns["BenchmarkCalibration"] > 0)
+            cal = cur_ns["BenchmarkCalibration"] / base_ns["BenchmarkCalibration"]
+        nr = 0
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            if (name !~ hot || !(name in base_ns)) continue
+            if (base_ns[name] > 0 && cur_ns[name] / base_ns[name] > 0.8)
+                ratio[++nr] = cur_ns[name] / base_ns[name]
+        }
+        med = 0
+        if (nr >= 3) {
+            for (i = 2; i <= nr; i++) {
+                v = ratio[i]
+                for (j = i - 1; j >= 1 && ratio[j] > v; j--) ratio[j + 1] = ratio[j]
+                ratio[j + 1] = v
+            }
+            med = (nr % 2 ? ratio[(nr + 1) / 2] : (ratio[nr / 2] + ratio[nr / 2 + 1]) / 2)
+        }
+        scale = (cal > med ? cal : med)
+        if (scale == 0) scale = 1
+        printf "bench: host speed scale %.3f (calibration %.3f, cohort median %.3f)\n", \
+            scale, cal, med
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            if (name !~ hot || !(name in base_ns)) continue
+            ns = cur_ns[name]
+            al = cur_al[name]
+            if (ns > 1.2 * scale * base_ns[name]) {
+                printf "bench: REGRESSION %s ns/op %g -> %g (>20%% host-normalized)\n", name, base_ns[name], ns
+                bad = 1
+            }
+            if (al > 1.2 * base_al[name] && al > base_al[name] + 2) {
+                printf "bench: REGRESSION %s allocs/op %g -> %g (>20%%)\n", name, base_al[name], al
+                bad = 1
+            }
+            printf "bench: %-28s ns/op %12g -> %12g (%.2fx)  allocs %8g -> %8g\n", \
+                name, base_ns[name], ns, (ns > 0 ? scale * base_ns[name] / ns : 0), base_al[name], al
+        }
+        exit bad
+    }
     ' "$baseline" "$out" || { echo "bench: hot-path perf gate FAILED vs $baseline" >&2; exit 1; }
     echo "bench: hot-path perf gate ok vs $baseline"
 fi

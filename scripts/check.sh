@@ -9,6 +9,8 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test ./...
+# The experiment package's race pass also exercises the sharded
+# Monte-Carlo yield and parallel corner sweeps (worker-identity tests).
 go test -race ./internal/jobs ./internal/server ./internal/experiment \
     ./internal/resilience ./internal/agents ./internal/telemetry \
     ./internal/mna ./internal/measure ./internal/sizing ./internal/cluster \
@@ -49,7 +51,7 @@ done
 # baseline (see scripts/bench.sh for the gated benchmark list).
 benchtmp="$(mktemp)"
 trap 'rm -f "$benchtmp"' EXIT
-scripts/bench.sh "$benchtmp" BENCH_pr4.json
+scripts/bench.sh "$benchtmp" BENCH_pr9.json
 
 # Errcheck-style gate: no silently dropped trailing returns (almost
 # always an ignored error) in the agent loop or the server.
