@@ -92,6 +92,44 @@ func TestBackendsGoldenDeterministic(t *testing.T) {
 	}
 }
 
+// genBenchGoldenCfg pins the -genbench mode: eight generated tasks over
+// the full reference-designer roster. Topologies, specs, transcripts,
+// and scores are all pure functions of the seed, so the exact bytes are
+// a regression surface for the generator, the rubric, and the
+// groundedness verifier at once.
+func genBenchGoldenCfg() experiment.GenBenchConfig {
+	cfg := experiment.DefaultGenBenchConfig(42)
+	cfg.Trials = 8
+	return cfg
+}
+
+func TestGenBenchGolden(t *testing.T) {
+	table, err := experiment.RunGenBench(genBenchGoldenCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "genbench.golden", renderGenBenchReport(table))
+}
+
+// The parallel genbench sweep must render the identical report, and a
+// repeated run must reproduce it byte for byte.
+func TestGenBenchGoldenDeterministic(t *testing.T) {
+	cfg := genBenchGoldenCfg()
+	cfg.Workers = 4
+	table, err := experiment.RunGenBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "genbench.golden", renderGenBenchReport(table))
+	again, err := experiment.RunGenBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderGenBenchReport(table) != renderGenBenchReport(again) {
+		t.Error("repeated -genbench run is nondeterministic")
+	}
+}
+
 func compareGolden(t *testing.T, name, got string) {
 	t.Helper()
 	path := filepath.Join("testdata", name)

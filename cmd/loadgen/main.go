@@ -12,6 +12,7 @@
 //	loadgen -mode batch -n 500 -dup 0.8 -batch 64
 //	loadgen -mode fleet -nodes 2   # 1 node vs N nodes behind the router
 //	loadgen -profile soak          # long duplicate-heavy fleet run
+//	loadgen -profile genbench      # cache-hostile generated-topology sim mix
 //	loadgen -url http://host:8080  # drive a running server instead
 //	loadgen -out loadgen.json      # write BENCH-style JSON entries
 //
@@ -46,6 +47,7 @@ import (
 	"artisan/internal/cluster"
 	"artisan/internal/server"
 	"artisan/internal/spec"
+	"artisan/internal/topology"
 )
 
 type config struct {
@@ -126,7 +128,7 @@ func main() {
 		nodes       = flag.Int("nodes", 2, "fleet mode: worker nodes behind the router")
 		nodeWorkers = flag.Int("node-workers", 4, "fleet mode: worker pool size per node")
 		modelLat    = flag.Duration("model-latency", 100*time.Millisecond, "fleet mode: modeled remote designer-LLM latency per design run")
-		profile     = flag.String("profile", "", "workload preset: '' or 'soak' (long duplicate-heavy fleet run)")
+		profile     = flag.String("profile", "", "workload preset: '', 'soak' (long duplicate-heavy fleet run), or 'genbench' (cache-hostile generated-topology simulate mix)")
 		backendFlag = flag.String("backend", "",
 			"route the mix as tuned designs through this sizing backend, one of "+strings.Join(backend.Names(), "|")+" (empty = untuned mix)")
 	)
@@ -139,6 +141,13 @@ func main() {
 	}
 	if *groupsFlag != "" {
 		cfg.groups = strings.Split(*groupsFlag, ",")
+	}
+	if cfg.profile == "genbench" {
+		// Genbench: every request carries a freshly generated topology's
+		// netlist, so the coalescing map and result cache have nothing to
+		// match — the worst-case (cache-hostile) serving profile the
+		// generative benchmark harness produces.
+		cfg.mode = "genbench"
 	}
 	if cfg.profile == "soak" {
 		// Soak: a long, duplicate-heavy fleet run at high client fan-in —
@@ -203,6 +212,9 @@ func run(cfg config, w io.Writer) ([]phaseResult, error) {
 				return nil, err
 			}
 		}
+	}
+	if cfg.mode == "genbench" {
+		return runGenbench(cfg, w)
 	}
 	items, unique := makeWorkload(cfg)
 	fmt.Fprintf(w, "loadgen: %d items (%d unique, dup ratio %.2f) over groups %s, seed %d\n",
@@ -346,6 +358,141 @@ func runFleet(cfg config, items []workItem, unique int, w io.Writer) ([]phaseRes
 	fmt.Fprintf(w, "loadgen: %d-node fleet throughput %.2fx one node (%0.f vs %0.f items/s), fleet coalesce hits %g\n",
 		cfg.nodes, fleet.SpeedupVsOneNode, fleet.ItemsPerSec, one.ItemsPerSec, fleet.CoalesceHits)
 	return []phaseResult{one, fleet}, nil
+}
+
+// simItem is one /simulate request of the genbench mix.
+type simItem struct {
+	Netlist string `json:"netlist"`
+	Out     string `json:"out,omitempty"`
+}
+
+// makeSimWorkload builds a simulate mix from the constrained random
+// topology generator: round(n*(1-dup)) unique generated netlists, the
+// rest duplicates sampled from them, shuffled — all seeded. At dup 0
+// every request body is distinct, so nothing coalesces and nothing
+// caches.
+func makeSimWorkload(cfg config, dup float64) ([]simItem, int, error) {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	unique := cfg.n - int(float64(cfg.n)*dup)
+	if unique < 1 {
+		unique = 1
+	}
+	items := make([]simItem, 0, cfg.n)
+	for i := 0; i < unique; i++ {
+		_, nl, err := topology.NewGenerator(cfg.seed*1_000_000 + int64(i)).Netlist()
+		if err != nil {
+			return nil, 0, fmt.Errorf("generating topology %d: %w", i, err)
+		}
+		items = append(items, simItem{Netlist: nl.String(), Out: "out"})
+	}
+	for len(items) < cfg.n {
+		items = append(items, items[rng.Intn(unique)])
+	}
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return items, unique, nil
+}
+
+// runGenbench is the cache-hostile compare: the same request count
+// replayed through POST /simulate/batch twice, once as a duplicate-
+// heavy mix (the coalescing layer's home turf) and once as all-unique
+// generated topologies (its worst case). The gap between the two
+// entries' coalesce counters is the profile's point: unique generated
+// work defeats request coalescing by construction.
+func runGenbench(cfg config, w io.Writer) ([]phaseResult, error) {
+	dupRatio := cfg.dup
+	if dupRatio <= 0 {
+		dupRatio = 0.5
+	}
+	onePhase := func(name string, dup float64) (phaseResult, error) {
+		items, unique, err := makeSimWorkload(cfg, dup)
+		if err != nil {
+			return phaseResult{}, err
+		}
+		base, shutdown := cfg.target()
+		defer shutdown()
+		res, err := runSimBatch(base, items, cfg)
+		if err != nil {
+			return phaseResult{}, err
+		}
+		res.Name = name
+		res.UniqueItems = unique
+		res.DupRatio = dup
+		res.CoalesceHits = scrapeCounter(base, "artisan_jobs_coalesce_hits_total")
+		res.CacheHits = scrapeCounter(base, "artisan_jobs_cache_hits_total")
+		return res, nil
+	}
+	runPhase := func(name string, dup float64) (phaseResult, error) {
+		var best phaseResult
+		for rep := 0; rep < cfg.repeat; rep++ {
+			res, err := onePhase(name, dup)
+			if err != nil {
+				return phaseResult{}, err
+			}
+			if rep == 0 || res.ItemsPerSec > best.ItemsPerSec {
+				best = res
+			}
+		}
+		fmt.Fprintln(w, best.String())
+		return best, nil
+	}
+	fmt.Fprintf(w, "loadgen: genbench simulate mix, %d items, seed %d\n", cfg.n, cfg.seed)
+	dup, err := runPhase("LoadgenGenbenchDup", dupRatio)
+	if err != nil {
+		return nil, err
+	}
+	hostile, err := runPhase("LoadgenGenbenchUnique", 0)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "loadgen: cache-hostile mix coalesced %g (duplicate mix %g) at %.0f items/s\n",
+		hostile.CoalesceHits, dup.CoalesceHits, hostile.ItemsPerSec)
+	return []phaseResult{dup, hostile}, nil
+}
+
+// runSimBatch replays a simulate mix chunked into /simulate/batch
+// requests, cfg.concurrency batches in flight.
+func runSimBatch(base string, items []simItem, cfg config) (phaseResult, error) {
+	var chunks [][]simItem
+	for len(items) > 0 {
+		k := cfg.batch
+		if k > len(items) {
+			k = len(items)
+		}
+		chunks = append(chunks, items[:k])
+		items = items[k:]
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      int
+	)
+	next := make(chan []simItem)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for chunk := range next {
+				lats, bad := postNDJSONBatch(base+"/simulate/batch",
+					map[string]any{"items": chunk}, len(chunk))
+				mu.Lock()
+				latencies = append(latencies, lats...)
+				errs += bad
+				mu.Unlock()
+			}
+		}()
+	}
+	total := 0
+	for _, chunk := range chunks {
+		total += len(chunk)
+		next <- chunk
+	}
+	close(next)
+	wg.Wait()
+	res := summarize("", "simbatch", cfg, make([]workItem, total), latencies, errs, time.Since(start))
+	res.BatchSize = cfg.batch
+	return res, nil
 }
 
 // fleetTarget starts nodes identical in-process worker servers and,
@@ -520,20 +667,26 @@ func runBatch(base string, items []workItem, cfg config) (phaseResult, error) {
 	return res, nil
 }
 
-// postBatch posts one batch and reads its NDJSON stream, timing each
-// item line against the batch start. Items whose line reports an error —
-// and items missing entirely when the stream fails — count as errors.
+// postBatch posts one design batch and reads its NDJSON stream.
 func postBatch(base string, chunk []workItem) ([]time.Duration, int) {
+	return postNDJSONBatch(base+"/design/batch", map[string]any{"items": chunk}, len(chunk))
+}
+
+// postNDJSONBatch posts one batch payload and reads the NDJSON stream,
+// timing each item line against the batch start. Items whose line
+// reports an error — and items missing entirely when the stream fails —
+// count as errors.
+func postNDJSONBatch(url string, payload any, n int) ([]time.Duration, int) {
 	t0 := time.Now()
-	blob, _ := json.Marshal(map[string]any{"items": chunk})
-	resp, err := http.Post(base+"/design/batch", "application/json", bytes.NewReader(blob))
+	blob, _ := json.Marshal(payload)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
 	if err != nil {
-		return nil, len(chunk)
+		return nil, n
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil, len(chunk)
+		return nil, n
 	}
 	var (
 		lats []time.Duration
@@ -557,7 +710,7 @@ func postBatch(base string, chunk []workItem) ([]time.Duration, int) {
 			errs++
 		}
 	}
-	errs += len(chunk) - seen
+	errs += n - seen
 	return lats, errs
 }
 

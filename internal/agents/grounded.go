@@ -1,0 +1,200 @@
+package agents
+
+// Groundedness verification (the AMSDesignBench/CIRCUIT-style check the
+// generative benchmark harness runs on every designer transcript): every
+// device, node, and parameter value a transcript cites is cross-
+// referenced against the actual netlist under evaluation. A citation of
+// a device that does not exist, a node the skeleton does not have, or a
+// parameter value that disagrees with the stamped element (the classic
+// wrong-unit slip: right digits, wrong SI prefix) is a finding
+// attributed to the offending transcript entry. A transcript with zero
+// findings is grounded.
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+
+	"artisan/internal/netlist"
+	"artisan/internal/units"
+)
+
+// GroundFindingKind classifies an ungrounded citation.
+type GroundFindingKind string
+
+// The three citation classes the verifier checks.
+const (
+	UngroundedDevice GroundFindingKind = "device"     // cited device not in the netlist
+	UngroundedNode   GroundFindingKind = "node"       // cited node not in the netlist
+	WrongValue       GroundFindingKind = "value"      // cited parameter disagrees with the stamp
+	WrongUnit        GroundFindingKind = "wrong-unit" // disagreement is a power-of-1000 slip
+)
+
+// GroundFinding is one ungrounded claim, attributed to the transcript
+// entry (Seq) that made it.
+type GroundFinding struct {
+	Seq    int               `json:"seq"`
+	Role   Role              `json:"role"`
+	Kind   GroundFindingKind `json:"kind"`
+	Token  string            `json:"token"`
+	Detail string            `json:"detail"`
+}
+
+func (f GroundFinding) String() string {
+	return fmt.Sprintf("entry %d (%s): %s %q %s", f.Seq, f.Role, f.Kind, f.Token, f.Detail)
+}
+
+// GroundReport is the verifier's verdict over one transcript.
+type GroundReport struct {
+	// Citations counts every device/node/parameter reference extracted.
+	Citations int `json:"citations"`
+	// Grounded counts the citations that checked out.
+	Grounded int             `json:"grounded"`
+	Findings []GroundFinding `json:"findings,omitempty"`
+}
+
+// Pass reports whether every extracted citation was grounded.
+func (r *GroundReport) Pass() bool { return len(r.Findings) == 0 }
+
+func (r *GroundReport) String() string {
+	if r.Pass() {
+		return fmt.Sprintf("grounded (%d/%d citations)", r.Grounded, r.Citations)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "UNGROUNDED (%d/%d citations, %d findings)", r.Grounded, r.Citations, len(r.Findings))
+	for _, f := range r.Findings {
+		b.WriteString("\n  ")
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// Citation shapes. Device citations are tokens shaped like the names the
+// topology elaborator can emit — skeleton elements (Gm2, Ro1, Cp3), load
+// and source (RL, CL, Vin), and connection elements (Cc_c0, Gf_c2, …).
+// Node citations are internal/auxiliary node tokens (n1, x0a) anywhere,
+// plus any token explicitly introduced by the word "node". Parameter
+// citations are "<device> = <value>" clauses whose value parses in
+// engineering notation.
+var (
+	deviceCitePat = regexp.MustCompile(
+		`\b(?:(?:Gm|Ro|Cp)\d+|(?:Cc|Cg|Rc|Rg|Gf|Eb)_c\d+|RL|CL|Vin)\b`)
+	nodeCitePat  = regexp.MustCompile(`\b(?:n\d+|x\d+[ab])\b`)
+	nodeWordPat  = regexp.MustCompile(`\bnode\s+([A-Za-z0-9_]+)\b`)
+	paramCitePat = regexp.MustCompile(
+		`\b((?:Gm|Ro|Cp)\d+|(?:Cc|Cg|Rc|Rg|Gf|Eb)_c\d+|RL|CL)\s*(?:=|≈|of)\s*([0-9][0-9.eE+-]*[a-zA-Zµ°Ω]*)`)
+)
+
+// paramTol is the relative tolerance a cited value may deviate from the
+// stamped element value before it is a finding; designers legitimately
+// round to a few significant digits.
+const paramTol = 0.02
+
+// VerifyGrounding cross-references every citation in the transcript
+// against the netlist. Tool entries are exempt (their text echoes
+// simulator output, which is grounded by construction); prompter,
+// designer, decision, and verdict entries are all checked.
+func VerifyGrounding(tr *Transcript, nl *netlist.Netlist) *GroundReport {
+	rep := &GroundReport{}
+	nodes := map[string]bool{"0": true}
+	for _, nd := range nl.Nodes() {
+		nodes[nd] = true
+	}
+	for _, e := range tr.Entries {
+		if e.Role == RoleTool {
+			continue
+		}
+		verifyEntry(rep, e, nl, nodes)
+	}
+	return rep
+}
+
+// verifyEntry extracts and checks the citations of one entry.
+func verifyEntry(rep *GroundReport, e Entry, nl *netlist.Netlist, nodes map[string]bool) {
+	add := func(kind GroundFindingKind, token, detail string) {
+		rep.Findings = append(rep.Findings, GroundFinding{
+			Seq: e.Seq, Role: e.Role, Kind: kind, Token: token, Detail: detail,
+		})
+	}
+
+	// Parameter citations first: each also grounds its device token, and
+	// the spans are masked so the device pass doesn't double-count them.
+	text := e.Text
+	for _, m := range paramCitePat.FindAllStringSubmatch(text, -1) {
+		dev, lit := m[1], m[2]
+		rep.Citations++
+		d := nl.Find(dev)
+		if d == nil {
+			add(UngroundedDevice, dev, "cited with a value but not in the netlist")
+			continue
+		}
+		v, err := units.Parse(lit)
+		if err != nil {
+			add(WrongValue, dev, fmt.Sprintf("unparseable value %q", lit))
+			continue
+		}
+		if kind, ok := checkValue(v, d.Value); !ok {
+			add(kind, dev, fmt.Sprintf("cited as %s, netlist stamps %s", lit, units.Format(d.Value)))
+			continue
+		}
+		rep.Grounded++
+	}
+	masked := paramCitePat.ReplaceAllString(text, " ")
+
+	for _, tok := range dedupe(deviceCitePat.FindAllString(masked, -1)) {
+		rep.Citations++
+		if nl.Find(tok) == nil {
+			add(UngroundedDevice, tok, "not in the netlist")
+			continue
+		}
+		rep.Grounded++
+	}
+
+	cited := dedupe(nodeCitePat.FindAllString(masked, -1))
+	for _, m := range nodeWordPat.FindAllStringSubmatch(masked, -1) {
+		cited = append(cited, m[1])
+	}
+	for _, tok := range dedupe(cited) {
+		rep.Citations++
+		if !nodes[tok] {
+			add(UngroundedNode, tok, "not a node of the netlist")
+			continue
+		}
+		rep.Grounded++
+	}
+}
+
+// checkValue compares a cited value to the stamped one: within paramTol
+// it is grounded; a deviation that is a clean power-of-1000 factor is
+// the wrong-unit slip; anything else is a wrong value.
+func checkValue(cited, stamped float64) (GroundFindingKind, bool) {
+	if stamped == 0 || cited == 0 {
+		return WrongValue, cited == stamped
+	}
+	ratio := cited / stamped
+	if ratio < 0 {
+		return WrongValue, false
+	}
+	if math.Abs(ratio-1) <= paramTol {
+		return "", true
+	}
+	decades := math.Log10(ratio) / 3
+	if math.Abs(decades-math.Round(decades)) < 0.01 && math.Round(decades) != 0 {
+		return WrongUnit, false
+	}
+	return WrongValue, false
+}
+
+// dedupe keeps first occurrences, preserving order.
+func dedupe(in []string) []string {
+	seen := map[string]bool{}
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

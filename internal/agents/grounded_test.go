@@ -1,0 +1,157 @@
+package agents
+
+import (
+	"strings"
+	"testing"
+
+	"artisan/internal/netlist"
+	"artisan/internal/topology"
+)
+
+// groundedFixture elaborates a real two-stage Miller topology so the
+// verifier is exercised against names the elaborator actually emits:
+// Gm1/Ro1/Cp1, Gm2/Ro2/Cp2, Cc_c0, RL, CL, Vin over nodes in/n1/out.
+func groundedFixture(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	topo := &topology.Topology{
+		Name: "fixture", TwoStage: true,
+		Stages: []topology.Stage{{Gm: 1e-3, A0: 160}, {Gm: 2e-3, A0: 45}},
+		Conns: []topology.Connection{
+			{Pos: topology.Position{From: "n1", To: "out"}, Type: topology.ConnC, C: 4.7e-12},
+		},
+	}
+	nl, err := topo.Elaborate(topology.DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestGroundedTranscriptPassesClean: a transcript whose every citation
+// is read off the netlist produces zero findings and full accounting.
+func TestGroundedTranscriptPassesClean(t *testing.T) {
+	nl := groundedFixture(t)
+	tr := &Transcript{}
+	tr.Add(RolePrompter, "Analyze the two-stage design loaded by CL and RL.")
+	tr.Add(RoleDesigner, "Gm1 = 1mS drives node n1; Gm2 = 2mS drives the output through Cc_c0 = 4.7pF.")
+	tr.Add(RoleDesigner, "The output resistance Ro2 sets the load pole together with Cp2 at node out.")
+
+	rep := VerifyGrounding(tr, nl)
+	if !rep.Pass() {
+		t.Fatalf("grounded transcript produced findings: %s", rep)
+	}
+	if rep.Citations == 0 || rep.Grounded != rep.Citations {
+		t.Fatalf("accounting: %d/%d grounded", rep.Grounded, rep.Citations)
+	}
+	if !strings.HasPrefix(rep.String(), "grounded") {
+		t.Errorf("String() = %q; want grounded summary", rep.String())
+	}
+}
+
+// TestFabricatedDeviceDetected: a device the elaborator never stamped is
+// an UngroundedDevice finding attributed to the citing entry's Seq.
+func TestFabricatedDeviceDetected(t *testing.T) {
+	nl := groundedFixture(t)
+	tr := &Transcript{}
+	tr.Add(RoleDesigner, "Gm1 = 1mS is the input pair.") // Seq 0, grounded
+	tr.Add(RoleDesigner, "Gm7 supplies the slew current, mirrored by Ro5.")
+
+	rep := VerifyGrounding(tr, nl)
+	if rep.Pass() {
+		t.Fatal("fabricated devices escaped verification")
+	}
+	if len(rep.Findings) != 2 {
+		t.Fatalf("findings = %v; want exactly Gm7 and Ro5", rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.Kind != UngroundedDevice {
+			t.Errorf("finding %v kind = %s; want %s", f, f.Kind, UngroundedDevice)
+		}
+		if f.Seq != 1 {
+			t.Errorf("finding %v attributed to entry %d; want the fabricating entry 1", f, f.Seq)
+		}
+		if f.Token != "Gm7" && f.Token != "Ro5" {
+			t.Errorf("unexpected token %q", f.Token)
+		}
+	}
+}
+
+// TestOffByOneNodeDetected: citing n2 on a skeleton whose only internal
+// node is n1 is an UngroundedNode finding, both as a bare token and via
+// the "node X" introduction.
+func TestOffByOneNodeDetected(t *testing.T) {
+	nl := groundedFixture(t)
+	tr := &Transcript{}
+	tr.Add(RoleDesigner, "The mirror pole sits at n2, past node n1.")
+
+	rep := VerifyGrounding(tr, nl)
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %v; want exactly the n2 citation", rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Kind != UngroundedNode || f.Token != "n2" || f.Seq != 0 {
+		t.Fatalf("finding = %+v; want UngroundedNode n2 at entry 0", f)
+	}
+
+	// The word form catches tokens the bare-node shape misses.
+	tr2 := &Transcript{}
+	tr2.Add(RoleDesigner, "Compensation returns to node vx from the output.")
+	rep2 := VerifyGrounding(tr2, nl)
+	if len(rep2.Findings) != 1 || rep2.Findings[0].Token != "vx" {
+		t.Fatalf("findings = %v; want ungrounded node vx", rep2.Findings)
+	}
+}
+
+// TestWrongUnitAndWrongValueDetected: a parameter cited a clean factor
+// of 1000 off its stamp is classified WrongUnit; an arbitrary
+// disagreement is WrongValue; a value within tolerance is grounded.
+func TestWrongUnitAndWrongValueDetected(t *testing.T) {
+	nl := groundedFixture(t)
+
+	tr := &Transcript{}
+	tr.Add(RoleDesigner, "Cc_c0 = 4.7nF dominates the response.") // stamp is 4.7pF
+	tr.Add(RoleDesigner, "Gm1 = 3.1mS from the bias point.")      // stamp is 1mS
+	tr.Add(RoleDesigner, "Gm2 = 2.0mS as designed.")              // grounded
+
+	rep := VerifyGrounding(tr, nl)
+	if len(rep.Findings) != 2 {
+		t.Fatalf("findings = %v; want wrong-unit Cc_c0 and wrong-value Gm1", rep.Findings)
+	}
+	byTok := map[string]GroundFinding{}
+	for _, f := range rep.Findings {
+		byTok[f.Token] = f
+	}
+	if f := byTok["Cc_c0"]; f.Kind != WrongUnit || f.Seq != 0 {
+		t.Errorf("Cc_c0 finding = %+v; want WrongUnit at entry 0", f)
+	}
+	if f := byTok["Gm1"]; f.Kind != WrongValue || f.Seq != 1 {
+		t.Errorf("Gm1 finding = %+v; want WrongValue at entry 1", f)
+	}
+	if rep.Grounded != rep.Citations-2 {
+		t.Errorf("accounting %d/%d; the Gm2 citation should be grounded", rep.Grounded, rep.Citations)
+	}
+}
+
+// TestToolEntriesExempt: tool output echoes the simulator and is
+// grounded by construction; the same fabrication in a designer entry is
+// caught.
+func TestToolEntriesExempt(t *testing.T) {
+	nl := groundedFixture(t)
+	tr := &Transcript{}
+	tr.Add(RoleTool, "sim says Gm9 = 1S at node n42") // would be three findings if checked
+	rep := VerifyGrounding(tr, nl)
+	if !rep.Pass() || rep.Citations != 0 {
+		t.Fatalf("tool entry was verified: %s", rep)
+	}
+
+	tr.Add(RoleDesigner, "sim says Gm9 = 1S at node n42")
+	rep = VerifyGrounding(tr, nl)
+	if rep.Pass() {
+		t.Fatal("designer repeating the fabrication escaped verification")
+	}
+	for _, f := range rep.Findings {
+		if f.Seq != 1 {
+			t.Errorf("finding %v attributed to entry %d; want designer entry 1", f, f.Seq)
+		}
+	}
+}

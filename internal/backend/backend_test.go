@@ -219,7 +219,7 @@ func TestSizeLadderDegradesToBO(t *testing.T) {
 	// ladder must fall back to plain BO.
 	topo := &topology.Topology{
 		Name: "bare",
-		Stages: [3]topology.Stage{
+		Stages: []topology.Stage{
 			{Gm: 1e-4, A0: 160}, {Gm: 1e-4, A0: 45}, {Gm: 1e-3, A0: 45},
 		},
 		Conns: []topology.Connection{

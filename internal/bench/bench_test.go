@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"artisan/internal/agents"
+)
+
+// TestNewTaskDeterministic: the same (trial, seed) yields the same
+// netlist text and spec — the harness's anti-memorization randomness is
+// all seeded.
+func TestNewTaskDeterministic(t *testing.T) {
+	a, err := NewTask(3, 1003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTask(3, 1003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Netlist.String() != b.Netlist.String() {
+		t.Fatalf("netlists differ across identical seeds:\n%s\nvs\n%s", a.Netlist, b.Netlist)
+	}
+	if a.Spec != b.Spec {
+		t.Fatalf("specs differ: %+v vs %+v", a.Spec, b.Spec)
+	}
+	c, err := NewTask(4, 1004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Netlist.String() == c.Netlist.String() {
+		t.Fatal("different seeds produced identical netlists — trials are not randomized")
+	}
+}
+
+// TestReferenceDesignerBrackets: the roster brackets the score space.
+// retrieval must be grounded with full rubric credit on ≥95% of trials,
+// terse grounded with zero rubric credit, fabricator never grounded.
+func TestReferenceDesignerBrackets(t *testing.T) {
+	const trials = 40
+	ctx := context.Background()
+	retrievalPass := 0
+	for i := 0; i < trials; i++ {
+		task, err := NewTask(i, int64(2000+i))
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+
+		r, err := RunTrial(ctx, retrievalDesigner{}, task)
+		if err != nil {
+			t.Fatalf("retrieval trial %d: %v", i, err)
+		}
+		if r.GroundPass && r.Rubric.Score() == 1 {
+			retrievalPass++
+		} else if !r.GroundPass {
+			tr, _ := retrievalDesigner{}.Analyze(ctx, task)
+			t.Errorf("retrieval ungrounded on trial %d: %s",
+				i, agents.VerifyGrounding(tr, task.Netlist))
+		} else {
+			t.Errorf("retrieval rubric %v on trial %d", r.Rubric, i)
+		}
+		if !r.Credited && r.GroundPass && r.Rubric.Score() == 1 {
+			t.Errorf("trial %d: full-score retrieval not credited", i)
+		}
+
+		te, err := RunTrial(ctx, terseDesigner{}, task)
+		if err != nil {
+			t.Fatalf("terse trial %d: %v", i, err)
+		}
+		if !te.GroundPass {
+			t.Errorf("terse ungrounded on trial %d", i)
+		}
+		if te.Rubric.Score() != 0 {
+			t.Errorf("terse scored rubric %v on trial %d — should be content-free", te.Rubric, i)
+		}
+		if te.Credited {
+			t.Errorf("terse credited on trial %d despite empty rubric", i)
+		}
+
+		f, err := RunTrial(ctx, fabricatorDesigner{}, task)
+		if err != nil {
+			t.Fatalf("fabricator trial %d: %v", i, err)
+		}
+		if f.GroundPass {
+			t.Errorf("fabricator passed grounding on trial %d — injections missed", i)
+		}
+	}
+	if retrievalPass < trials*95/100 {
+		t.Fatalf("retrieval grounded+full-rubric on %d/%d trials; want >=95%%", retrievalPass, trials)
+	}
+}
+
+// TestFabricationsAllCaught: every injected ungrounded citation is
+// caught, classified with the right kind, and attributed to the
+// injection's own transcript entry — not to the grounded prefix.
+func TestFabricationsAllCaught(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		task, err := NewTask(i, int64(3000+i))
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		tr, err := fabricatorDesigner{}.Analyze(context.Background(), task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := agents.VerifyGrounding(tr, task.Netlist)
+		injected := fabrications(task)
+		clean := retrievalAnalysis(task)
+		for _, inj := range injected {
+			found := false
+			for _, g := range rep.Findings {
+				if g.Token == inj.Token && g.Kind == inj.Kind {
+					found = true
+					if g.Seq < len(clean.Entries) {
+						t.Errorf("trial %d: finding %v attributed to grounded entry %d", i, g, g.Seq)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("trial %d: injection (%s %q) not caught; findings: %v",
+					i, inj.Kind, inj.Token, rep.Findings)
+			}
+		}
+		if len(rep.Findings) != len(injected) {
+			t.Errorf("trial %d: %d findings for %d injections — grounded prefix leaked: %v",
+				i, len(rep.Findings), len(injected), rep.Findings)
+		}
+	}
+}
+
+// TestDesignerRoster: the registry resolves every roster name and
+// rejects unknowns.
+func TestDesignerRoster(t *testing.T) {
+	names := []string{"retrieval", "terse", "fabricator"}
+	ds := Designers()
+	if len(ds) != len(names) {
+		t.Fatalf("roster has %d designers, want %d", len(ds), len(names))
+	}
+	for i, want := range names {
+		if ds[i].Name() != want {
+			t.Errorf("roster[%d] = %q, want %q", i, ds[i].Name(), want)
+		}
+		if DesignerByName(want) == nil {
+			t.Errorf("DesignerByName(%q) = nil", want)
+		}
+	}
+	if DesignerByName("gpt") != nil {
+		t.Error("DesignerByName resolved an unknown name")
+	}
+}

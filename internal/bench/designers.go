@@ -1,0 +1,159 @@
+package bench
+
+// Reference designers for the generative harness. These are not LLMs —
+// they are deterministic transcript synthesizers that bracket the score
+// space so the harness itself is testable:
+//
+//	retrieval  — reads every claim off the actual netlist and report;
+//	             fully grounded, full rubric credit. The ceiling.
+//	terse      — grounded but content-free; passes verification and
+//	             fails the rubric. Separates the two scoring axes.
+//	fabricator — the retrieval analysis plus seeded ungrounded
+//	             citations (a fabricated device, an off-by-one node,
+//	             a wrong-unit parameter). The groundedness verifier
+//	             must catch every injection; this is the chaos probe
+//	             the acceptance gate keys on.
+//
+// All three are pure functions of the Task, so serial and parallel
+// harness runs produce identical transcripts.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"artisan/internal/agents"
+	"artisan/internal/topology"
+	"artisan/internal/units"
+)
+
+// Designers returns the reference designer roster in fixed order.
+func Designers() []Designer {
+	return []Designer{retrievalDesigner{}, terseDesigner{}, fabricatorDesigner{}}
+}
+
+// DesignerByName resolves a roster designer; nil if unknown.
+func DesignerByName(name string) Designer {
+	for _, d := range Designers() {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// promptFor renders the task statement shared by all designers. Spec
+// values that shadow stamped devices (CL, RL) are formatted with
+// units.Format so the grounding check round-trips.
+func promptFor(t *Task) string {
+	return fmt.Sprintf(
+		"Analyze %s: a generated %d-stage amplifier driving CL = %sF / RL = %sOhm. "+
+			"Targets: gain over %.1f dB, bandwidth over %.4g Hz, phase margin over %.1f deg, power under %sW.",
+		t.Spec.Name, t.Topo.NumStages(), units.Format(t.Spec.CL), units.Format(t.Spec.RL),
+		t.Spec.MinGainDB, t.Spec.MinGBW, t.Spec.MinPM, units.Format(t.Spec.MaxPower))
+}
+
+// retrievalAnalysis is the fully grounded, rubric-complete analysis:
+// every device parameter is read back from the stamped netlist, the
+// pole/GBW/FoM lines are computed from the measured report, and the
+// compensation claim is the topology's own family set.
+func retrievalAnalysis(t *Task) *agents.Transcript {
+	tr := &agents.Transcript{}
+	tr.Add(agents.RolePrompter, promptFor(t))
+
+	nodes := topology.SkeletonNodesN(t.Topo.NumStages())
+	var b strings.Builder
+	for i := range t.Topo.Stages {
+		gm := t.Netlist.Find(fmt.Sprintf("Gm%d", i+1))
+		ro := t.Netlist.Find(fmt.Sprintf("Ro%d", i+1))
+		cp := t.Netlist.Find(fmt.Sprintf("Cp%d", i+1))
+		if gm == nil || ro == nil || cp == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "Stage %d: Gm%d = %sS into Ro%d = %sOhm with parasitic Cp%d = %sF at node %s. ",
+			i+1, i+1, units.Format(gm.Value), i+1, units.Format(ro.Value),
+			i+1, units.Format(cp.Value), nodes[i+1])
+	}
+	tr.Add(agents.RoleDesigner, strings.TrimSpace(b.String()))
+
+	pole := t.Report.GBW / t.Report.DCGain
+	tr.Add(agents.RoleDesigner, fmt.Sprintf(
+		"Pole allocation: dominant pole at %.4gHz from the compensated first stage; "+
+			"unity-gain crossover at GBW = %.4gHz with phase margin %.1f deg.",
+		pole, t.Report.GBW, t.Report.PM))
+	tr.Add(agents.RoleDesigner, fmt.Sprintf(
+		"Figure of merit: FoM = %.4g MHz-pF/mW for %s at measured power %sW.",
+		t.Spec.FoMOf(t.Report), t.Spec.Name, units.Format(t.Report.Power)))
+	tr.Add(agents.RoleDesigner, "compensation: "+strings.Join(t.Topo.CompFamilies(), ", "))
+	return tr
+}
+
+type retrievalDesigner struct{}
+
+func (retrievalDesigner) Name() string { return "retrieval" }
+
+func (retrievalDesigner) Analyze(_ context.Context, t *Task) (*agents.Transcript, error) {
+	return retrievalAnalysis(t), nil
+}
+
+// terseDesigner is grounded (its one citation is read from the spec,
+// which shadows the stamped load) but offers none of the reasoning the
+// rubric checks for.
+type terseDesigner struct{}
+
+func (terseDesigner) Name() string { return "terse" }
+
+func (terseDesigner) Analyze(_ context.Context, t *Task) (*agents.Transcript, error) {
+	tr := &agents.Transcript{}
+	tr.Add(agents.RolePrompter, promptFor(t))
+	tr.Add(agents.RoleDesigner, fmt.Sprintf(
+		"Looks stable; CL = %sF at node out is an easy load.", units.Format(t.Spec.CL)))
+	return tr, nil
+}
+
+// Fabrication is one seeded ungrounded citation the fabricator injects.
+// Tests re-derive the injection set with fabrications() to assert the
+// verifier catches each token with the expected finding kind.
+type Fabrication struct {
+	Kind  agents.GroundFindingKind
+	Token string
+	Text  string
+}
+
+// fabrications derives the trial's injection set from Task.Seed: a
+// device the elaborator never stamped, a signal node one past the
+// skeleton, and an existing capacitor cited a factor 1000 off.
+func fabrications(t *Task) []Fabrication {
+	rng := rand.New(rand.NewSource(t.Seed ^ 0xfab))
+	n := t.Topo.NumStages()
+
+	dev := fmt.Sprintf("Gm%d", n+3+rng.Intn(5))
+	node := fmt.Sprintf("n%d", n+rng.Intn(3))
+	out := []Fabrication{
+		{agents.UngroundedDevice, dev,
+			fmt.Sprintf("Slew rate is limited by the tail current of %s.", dev)},
+		{agents.UngroundedNode, node,
+			fmt.Sprintf("Parasitic coupling at node %s degrades the phase margin.", node)},
+	}
+	if cp := t.Netlist.Find("Cp1"); cp != nil {
+		out = append(out, Fabrication{agents.WrongUnit, "Cp1",
+			fmt.Sprintf("The output pole is set by Cp1 = %sF.", units.Format(cp.Value*1000))})
+	}
+	return out
+}
+
+// fabricatorDesigner emits the retrieval analysis, then appends the
+// seeded injections as separate designer entries (so each finding is
+// attributable to exactly one transcript line).
+type fabricatorDesigner struct{}
+
+func (fabricatorDesigner) Name() string { return "fabricator" }
+
+func (fabricatorDesigner) Analyze(_ context.Context, t *Task) (*agents.Transcript, error) {
+	tr := retrievalAnalysis(t)
+	for _, f := range fabrications(t) {
+		tr.Add(agents.RoleDesigner, f.Text)
+	}
+	return tr, nil
+}

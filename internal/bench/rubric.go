@@ -1,0 +1,133 @@
+package bench
+
+// Deterministic rubric checks over a designer transcript. Unlike the
+// groundedness verifier (which only asks "is every citation real?"),
+// the rubric asks whether the analysis contains the reasoning the task
+// demands, and whether its arithmetic is right against the ground-truth
+// measurement:
+//
+//	pole   — pole-allocation reasoning present: a "dominant pole at
+//	         <f>Hz" claim whose value is within 25% of GBW/DCGain
+//	         (the single-pole estimate the skeleton obeys).
+//	spec   — spec arithmetic correct: the claimed GBW is within 5% of
+//	         the measured one AND the claimed FoM is within 5% of the
+//	         spec's figure of merit for the measured report.
+//	comp   — the claimed compensation families are non-empty and a
+//	         subset of the families actually present in the topology.
+//
+// All three are pure string/number checks — no model in the loop — so
+// rubric scores are exactly reproducible.
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"artisan/internal/agents"
+)
+
+// Claim patterns. Values are rendered by designers with %.4g and a
+// literal unit tail (never units.Format — "mHz" would parse as
+// megahertz), so a plain float parse recovers them.
+var (
+	polePat = regexp.MustCompile(`dominant pole (?:at|near) ([0-9][0-9.eE+-]*)\s*Hz`)
+	gbwPat  = regexp.MustCompile(`\bGBW = ([0-9][0-9.eE+-]*)\s*Hz`)
+	fomPat  = regexp.MustCompile(`\bFoM = ([0-9][0-9.eE+-]*)`)
+	compPat = regexp.MustCompile(`compensation: ([A-Za-z-]+(?:, [A-Za-z-]+)*)`)
+)
+
+// Tolerances: the pole estimate is a first-order approximation, so it
+// gets slack; GBW and FoM are read straight off the report, so they
+// must be tight.
+const (
+	poleTol = 0.25
+	specTol = 0.05
+)
+
+// RubricResult is the three-check verdict over one transcript.
+type RubricResult struct {
+	PoleOK bool `json:"pole_ok"`
+	SpecOK bool `json:"spec_ok"`
+	CompOK bool `json:"comp_ok"`
+}
+
+// Score is the fraction of rubric checks passed, in {0, 1/3, 2/3, 1}.
+func (r RubricResult) Score() float64 {
+	n := 0.0
+	for _, ok := range []bool{r.PoleOK, r.SpecOK, r.CompOK} {
+		if ok {
+			n++
+		}
+	}
+	return n / 3
+}
+
+func (r RubricResult) String() string {
+	mark := func(ok bool) string {
+		if ok {
+			return "✓"
+		}
+		return "✗"
+	}
+	return "pole" + mark(r.PoleOK) + " spec" + mark(r.SpecOK) + " comp" + mark(r.CompOK)
+}
+
+// ScoreRubric runs the three checks over the non-tool entries of the
+// transcript against the task's ground truth.
+func ScoreRubric(tr *agents.Transcript, t *Task) RubricResult {
+	var b strings.Builder
+	for _, e := range tr.Entries {
+		if e.Role == agents.RoleTool {
+			continue
+		}
+		b.WriteString(e.Text)
+		b.WriteString("\n")
+	}
+	text := b.String()
+
+	var res RubricResult
+	if v, ok := firstFloat(polePat, text); ok {
+		truth := t.Report.GBW / t.Report.DCGain
+		res.PoleOK = within(v, truth, poleTol)
+	}
+	gbw, gok := firstFloat(gbwPat, text)
+	fom, fok := firstFloat(fomPat, text)
+	res.SpecOK = gok && fok &&
+		within(gbw, t.Report.GBW, specTol) &&
+		within(fom, t.Spec.FoMOf(t.Report), specTol)
+
+	if m := compPat.FindStringSubmatch(text); m != nil {
+		actual := map[string]bool{}
+		for _, f := range t.Topo.CompFamilies() {
+			actual[f] = true
+		}
+		claimed := strings.Split(m[1], ", ")
+		res.CompOK = len(claimed) > 0
+		for _, f := range claimed {
+			if !actual[f] {
+				res.CompOK = false
+				break
+			}
+		}
+	}
+	return res
+}
+
+// firstFloat parses the first capture of pat in text.
+func firstFloat(pat *regexp.Regexp, text string) (float64, bool) {
+	m := pat.FindStringSubmatch(text)
+	if m == nil {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	return v, err == nil
+}
+
+// within reports |v - truth| <= tol·|truth|.
+func within(v, truth, tol float64) bool {
+	if truth == 0 {
+		return v == 0
+	}
+	return math.Abs(v-truth) <= tol*math.Abs(truth)
+}

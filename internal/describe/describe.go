@@ -146,14 +146,17 @@ func Parse(desc string) (*topology.Topology, error) {
 				if err != nil {
 					return nil, err
 				}
-				t.Stages[0] = topology.Stage{Gm: vals[0], A0: topology.DefaultStageA0[0]}
-				t.Stages[1] = topology.Stage{Gm: vals[1], A0: topology.DefaultStageA0[2]}
+				t.Stages = []topology.Stage{
+					{Gm: vals[0], A0: topology.DefaultStageA0[0]},
+					{Gm: vals[1], A0: topology.DefaultStageA0[2]},
+				}
 				continue
 			}
 			vals, err := extractValues(s, "transconductance %s, the second stage %s, and the inverting output stage %s")
 			if err != nil {
 				return nil, err
 			}
+			t.Stages = make([]topology.Stage, 3)
 			for i := 0; i < 3; i++ {
 				t.Stages[i] = topology.Stage{Gm: vals[i], A0: topology.DefaultStageA0[i]}
 			}
@@ -162,7 +165,9 @@ func Parse(desc string) (*topology.Topology, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.Stages[1].A0 = v
+			if len(t.Stages) >= 2 {
+				t.Stages[1].A0 = v
+			}
 		default:
 			c, ok, err := parseConn(s)
 			if err != nil {
@@ -176,7 +181,7 @@ func Parse(desc string) (*topology.Topology, error) {
 	if !sawHeader {
 		return nil, fmt.Errorf("describe: not a three-stage opamp description")
 	}
-	if t.Stages[0].Gm == 0 {
+	if len(t.Stages) == 0 || t.Stages[0].Gm == 0 {
 		return nil, fmt.Errorf("describe: stage transconductances missing")
 	}
 	if err := t.Validate(); err != nil {

@@ -116,7 +116,7 @@ func GAContext(ctx context.Context, sp spec.Spec, budget int, seed int64, opts G
 // transconductance likewise. Invalid children fall back to a mutation of
 // parent a.
 func crossover(s *topology.Sampler, a, b *topology.Topology, rng *rand.Rand) *topology.Topology {
-	child := &topology.Topology{Name: "GA"}
+	child := &topology.Topology{Name: "GA", Stages: make([]topology.Stage, 3)}
 	for i := 0; i < 3; i++ {
 		if rng.Intn(2) == 0 {
 			child.Stages[i] = a.Stages[i]

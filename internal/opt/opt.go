@@ -111,7 +111,7 @@ func (e *emb) dim() int { return len(e.positions)*4 + 3 }
 
 // decode lowers a point of the continuous embedding space to a topology.
 func (e *emb) decode(x []float64) *topology.Topology {
-	tp := &topology.Topology{Name: "BOBO"}
+	tp := &topology.Topology{Name: "BOBO", Stages: make([]topology.Stage, 3)}
 	for i := 0; i < 3; i++ {
 		gm := math.Exp(logGmLo + x[len(x)-3+i]*(logGmHi-logGmLo))
 		a0 := topology.DefaultStageA0[i]

@@ -52,6 +52,12 @@ func (s *Server) initTelemetry(o Options) {
 		"Simulator evaluations consumed by one sizing-backend run.",
 		telemetry.ExpBuckets(1, 2, 12))
 
+	// Groundedness checks: transcript-vs-netlist verification verdicts
+	// for design requests that set Verify.
+	s.groundChecks = s.reg.CounterVec("artisan_ground_checks_total",
+		"Groundedness-verifier verdicts over Verify-flagged design runs.",
+		"verdict")
+
 	// Jobs: queue depth is the live saturation signal; the cache counters
 	// mirror jobs.CacheStats so dashboards and /stats agree by
 	// construction.

@@ -144,6 +144,9 @@ type Server struct {
 	sizingBackends *telemetry.CounterVec
 	sizingEvals    *telemetry.Histogram
 
+	// Groundedness-verifier verdicts over Verify-flagged design runs.
+	groundChecks *telemetry.CounterVec
+
 	// Batch-serving instruments: items per batch request, per-item
 	// latency from batch submit to completion, and per-item outcomes.
 	// See batch.go for the endpoints they observe.
@@ -271,6 +274,7 @@ func NewServer(o Options) (*Server, error) {
 	s.handle("GET /traces", http.HandlerFunc(s.handleTraces))
 	s.handle("GET /groups", http.HandlerFunc(s.handleGroups))
 	s.handle("GET /architectures", http.HandlerFunc(s.handleArchitectures))
+	s.handle("GET /topology/sample", http.HandlerFunc(s.handleTopologySample))
 	s.handle("POST /design", http.HandlerFunc(s.handleDesign))
 	s.handle("POST /design/batch", http.HandlerFunc(s.handleDesignBatch))
 	s.handle("POST /simulate", http.HandlerFunc(s.handleSimulate))
@@ -585,6 +589,10 @@ type DesignRequest struct {
 	TreeWidth   int             `json:"treeWidth,omitempty"`
 	Tune        bool            `json:"tune,omitempty"`
 	Transcript  bool            `json:"transcript,omitempty"`
+	// Verify runs the groundedness verifier over the session transcript
+	// against the produced netlist and returns its report — the serving-
+	// tier hook of the generative benchmark harness.
+	Verify bool `json:"verify,omitempty"`
 	// Backend selects the sizing backend for tuned requests ("bo", "ga",
 	// "whitebox", "hybrid"). Empty falls back to the server's configured
 	// default. Ignored unless Tune is set.
@@ -604,6 +612,10 @@ type DesignResponse struct {
 	Transcript string            `json:"transcript,omitempty"`
 	Session    map[string]int    `json:"session"`
 	ModeledRun *modeledDurations `json:"modeledRuntime,omitempty"`
+	// Grounded is the groundedness-verifier report (requests with Verify
+	// set): every device/node/parameter the transcript cites, cross-
+	// referenced against the produced netlist.
+	Grounded *agents.GroundReport `json:"grounded,omitempty"`
 	// Cached reports that the result came from the design cache rather
 	// than a fresh agent session.
 	Cached bool `json:"cached,omitempty"`
@@ -680,9 +692,9 @@ func (s *Server) parseDesignRequest(req *DesignRequest) (spec.Spec, error) {
 // The spec fields — not the raw group/prompt strings — form the key, so
 // a group request and the equivalent prompt request share an entry.
 func designKey(sp spec.Spec, req DesignRequest) string {
-	return fmt.Sprintf("design|gain=%g|gbw=%g|pm=%g|pow=%g|cl=%g|rl=%g|vdd=%g|seed=%d|temp=%g|width=%d|tune=%t|chat=%t|backend=%s",
+	return fmt.Sprintf("design|gain=%g|gbw=%g|pm=%g|pow=%g|cl=%g|rl=%g|vdd=%g|seed=%d|temp=%g|width=%d|tune=%t|chat=%t|verify=%t|backend=%s",
 		sp.MinGainDB, sp.MinGBW, sp.MinPM, sp.MaxPower, sp.CL, sp.RL, sp.VDD,
-		req.Seed, req.Temperature, req.TreeWidth, req.Tune, req.Transcript, req.Backend)
+		req.Seed, req.Temperature, req.TreeWidth, req.Tune, req.Transcript, req.Verify, req.Backend)
 }
 
 // designFunc builds the pool job that runs the full workflow with the
@@ -790,6 +802,15 @@ func (s *Server) designFunc(sp spec.Spec, req DesignRequest, requestID string) j
 		}
 		if req.Transcript {
 			resp.Transcript = out.Transcript.Chat()
+		}
+		if req.Verify && out.Netlist != nil && out.Transcript != nil {
+			gr := agents.VerifyGrounding(out.Transcript, out.Netlist)
+			resp.Grounded = gr
+			verdict := "pass"
+			if !gr.Pass() {
+				verdict = "fail"
+			}
+			s.groundChecks.With(verdict).Inc()
 		}
 		return resp, nil
 	}

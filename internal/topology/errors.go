@@ -1,0 +1,22 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid is the sentinel wrapped by every structural validation
+// failure of this package — illegal positions, bad parameters, stage
+// count out of range, malformed or unknown JSON. Callers that need to
+// distinguish "this graph is invalid" from infrastructure errors test
+// with errors.Is(err, ErrInvalid).
+var ErrInvalid = errors.New("invalid topology")
+
+// invalidf builds a validation error carrying the ErrInvalid sentinel.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("topology: "+format+": %w", append(args, ErrInvalid)...)
+}
+
+// isInvalid reports whether err already carries the sentinel (e.g. a
+// ConnType unmarshal failure surfacing through encoding/json).
+func isInvalid(err error) bool { return errors.Is(err, ErrInvalid) }

@@ -1,0 +1,89 @@
+package topology
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzFromJSON: the JSON decoder must never panic, must reject every
+// invalid graph with an error wrapping ErrInvalid, and must accept only
+// topologies that validate and re-serialize stably. Seeds cover the
+// generator's own output (the accept path) alongside hand-mutated
+// invalid graphs; the checked-in corpus under
+// testdata/fuzz/FuzzFromJSON extends both sets.
+func FuzzFromJSON(f *testing.F) {
+	// Generator outputs: real accepted payloads at each stage depth.
+	for seed := int64(0); seed < 8; seed++ {
+		topo, err := NewGenerator(seed).Topology()
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := topo.ToJSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	// Library entries, including the legacy fixed-3-stage wire form.
+	for _, topo := range []*Topology{
+		NMC(4e-4, 2e-5, 8e-3, 1e-12, 2e-12),
+		DFCFC(4e-4, 2e-5, 8e-3, 1e-12, 2e-4, 1e-12, 8e-3),
+		SMC(4e-4, 8e-3, 2e-12),
+	} {
+		if blob, err := topo.ToJSON(); err == nil {
+			f.Add(blob)
+		}
+	}
+	// Hand-mutated invalid graphs and malformed payloads.
+	for _, s := range []string{
+		``,
+		`{`,
+		`null`,
+		`[]`,
+		`{"Name":"x"}`,
+		`{"Name":"x","Stages":[]}`,
+		`{"Name":"x","Stages":[{"Gm":0.001,"A0":160}]}`,
+		`{"Name":"x","Stages":[{"Gm":-1,"A0":160},{"Gm":0.001,"A0":45}]}`,
+		`{"Name":"x","Stages":[{"Gm":1e308,"A0":1e308},{"Gm":0.001,"A0":45}]}`,
+		`{"Name":"x","TwoStage":true,"Stages":[{"Gm":0.001,"A0":160},{"Gm":0.001,"A0":45},{"Gm":0.001,"A0":45}]}`,
+		`{"Name":"x","Stages":[{"Gm":0.001,"A0":160},{"Gm":0.001,"A0":45}],` +
+			`"Conns":[{"Pos":{"From":"n2","To":"out"},"Type":"C","C":1e-12}]}`,
+		`{"Name":"x","Stages":[{"Gm":0.001,"A0":160},{"Gm":0.001,"A0":45}],` +
+			`"Conns":[{"Pos":{"From":"n1","To":"out"},"Type":"warp","C":1e-12}]}`,
+		`{"Name":"x","Stages":[{"Gm":0.001,"A0":160},{"Gm":0.001,"A0":45}],` +
+			`"Conns":[{"Pos":{"From":"n1","To":"out"},"Type":"C","C":1e-12},` +
+			`{"Pos":{"From":"n1","To":"out"},"Type":"C","C":2e-12}]}`,
+		`{"Name":"x","Stages":[{"Gm":"NaN","A0":160},{"Gm":0.001,"A0":45}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		topo, err := FromJSON(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("rejection does not wrap ErrInvalid: %v", err)
+			}
+			return
+		}
+		if verr := topo.Validate(); verr != nil {
+			t.Fatalf("FromJSON accepted an invalid topology: %v", verr)
+		}
+		blob, err := topo.ToJSON()
+		if err != nil {
+			t.Fatalf("accepted topology does not re-serialize: %v", err)
+		}
+		back, err := FromJSON(blob)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		blob2, err := back.ToJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("canonical form unstable:\n%s\nvs\n%s", blob, blob2)
+		}
+	})
+}

@@ -22,7 +22,7 @@ func (t ConnType) MarshalJSON() ([]byte, error) {
 func (t *ConnType) UnmarshalJSON(data []byte) error {
 	var name string
 	if err := json.Unmarshal(data, &name); err != nil {
-		return fmt.Errorf("topology: %w", err)
+		return invalidf("connection type: %v", err)
 	}
 	for i := 0; i < NumConnTypes; i++ {
 		if ConnType(i).String() == name {
@@ -30,7 +30,7 @@ func (t *ConnType) UnmarshalJSON(data []byte) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("topology: unknown connection type %q", name)
+	return invalidf("unknown connection type %q", name)
 }
 
 // ToJSON serializes the topology (indented).
@@ -38,11 +38,22 @@ func (t *Topology) ToJSON() ([]byte, error) {
 	return json.MarshalIndent(t, "", "  ")
 }
 
-// FromJSON deserializes and validates a topology.
+// FromJSON deserializes and validates a topology. Malformed JSON and
+// structurally invalid graphs are both rejected with an error wrapping
+// ErrInvalid; the input never panics the decoder.
 func FromJSON(data []byte) (*Topology, error) {
 	var t Topology
 	if err := json.Unmarshal(data, &t); err != nil {
-		return nil, fmt.Errorf("topology: %w", err)
+		if isInvalid(err) {
+			return nil, err
+		}
+		return nil, invalidf("%v", err)
+	}
+	// Legacy wire form: the skeleton was a fixed 3-element array with
+	// TwoStage marking the third element unused and zeroed. Trim trailing
+	// zero stages so those payloads load as today's variable-depth model.
+	for len(t.Stages) > MinStageCount && t.Stages[len(t.Stages)-1] == (Stage{}) {
+		t.Stages = t.Stages[:len(t.Stages)-1]
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

@@ -6,9 +6,9 @@ package topology
 // the already-solved design parameters and returns the structural
 // Topology; the analytic sizing lives in internal/design.
 
-// stages builds the skeleton stage array with default intrinsic gains.
-func stages(gm1, gm2, gm3 float64) [3]Stage {
-	return [3]Stage{
+// stages builds the three-stage skeleton slice with default intrinsic gains.
+func stages(gm1, gm2, gm3 float64) []Stage {
+	return []Stage{
 		{Gm: gm1, A0: DefaultStageA0[0]},
 		{Gm: gm2, A0: DefaultStageA0[1]},
 		{Gm: gm3, A0: DefaultStageA0[2]},
@@ -123,10 +123,9 @@ func SMC(gm1, gm2, cc float64) *Topology {
 	return &Topology{
 		Name:     "SMC",
 		TwoStage: true,
-		Stages: [3]Stage{
+		Stages: []Stage{
 			{Gm: gm1, A0: DefaultStageA0[0]},
 			{Gm: gm2, A0: DefaultStageA0[2]},
-			{},
 		},
 		Conns: []Connection{
 			{Pos: Position{"n1", "out"}, Type: ConnC, C: cc},

@@ -176,7 +176,7 @@ func (s *Sampler) Mutate(t *Topology) *Topology {
 				c.R = clampRange(c.R*f, rLo, rHi)
 			}
 		case MutateStageGm:
-			i := s.rng.Intn(3)
+			i := s.rng.Intn(len(m.Stages))
 			f := math.Exp(s.rng.NormFloat64() * 0.5)
 			m.Stages[i].Gm = clampRange(m.Stages[i].Gm*f, gmLo, gmHi)
 		}

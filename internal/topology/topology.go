@@ -39,6 +39,15 @@ func (m DeviceModel) Cp(gm float64) float64 {
 // common-source stages.
 var DefaultStageA0 = [3]float64{160, 45, 45}
 
+// DefaultA0 returns the default intrinsic gain of stage i (0-based) in
+// any skeleton depth: a cascoded input stage, common-source elsewhere.
+func DefaultA0(i int) float64 {
+	if i == 0 {
+		return DefaultStageA0[0]
+	}
+	return DefaultStageA0[1]
+}
+
 // Connection is one tunable connection instance: a position, a type, and
 // the element values the type uses (unused fields are ignored).
 type Connection struct {
@@ -49,32 +58,38 @@ type Connection struct {
 	C    float64 // F
 }
 
-// Validate checks the connection's type/position legality and parameters.
+// Validate checks the connection's type/position legality and
+// parameters against the deepest (four-stage) skeleton; Topology.Validate
+// additionally restricts positions to the owning skeleton's depth. Every
+// failure wraps ErrInvalid.
 func (c Connection) Validate() error {
 	if c.Type == ConnNone {
 		return nil
 	}
+	if c.Type < 0 || int(c.Type) >= NumConnTypes {
+		return invalidf("unknown connection type %d at %v", int(c.Type), c.Pos)
+	}
 	legalPos := false
-	for _, p := range LegalPositions() {
+	for _, p := range legalPositions(MaxStageCount) {
 		if p == c.Pos {
 			legalPos = true
 			break
 		}
 	}
 	if !legalPos {
-		return fmt.Errorf("topology: illegal position %v", c.Pos)
+		return invalidf("illegal position %v", c.Pos)
 	}
 	if !legalAt(c.Type, c.Pos) {
-		return fmt.Errorf("topology: type %v not allowed at %v", c.Type, c.Pos)
+		return invalidf("type %v not allowed at %v", c.Type, c.Pos)
 	}
 	if c.Type.HasGm() && c.Gm <= 0 {
-		return fmt.Errorf("topology: %v at %v needs Gm > 0", c.Type, c.Pos)
+		return invalidf("%v at %v needs Gm > 0", c.Type, c.Pos)
 	}
 	if c.Type.HasC() && c.C <= 0 {
-		return fmt.Errorf("topology: %v at %v needs C > 0", c.Type, c.Pos)
+		return invalidf("%v at %v needs C > 0", c.Type, c.Pos)
 	}
 	if c.Type.HasR() && c.R <= 0 {
-		return fmt.Errorf("topology: %v at %v needs R > 0", c.Type, c.Pos)
+		return invalidf("%v at %v needs R > 0", c.Type, c.Pos)
 	}
 	return nil
 }
@@ -82,45 +97,59 @@ func (c Connection) Validate() error {
 // Topology is a complete opamp candidate: named architecture, skeleton
 // stage parameters, and the tunable connections. The paper focuses on
 // three-stage opamps (§2.2) but notes the approach "can be easily
-// extended to support other opamp topologies"; TwoStage exercises that
-// claim: when set, the skeleton is in → n1 → out with Stages[0] as the
-// (+) input stage and Stages[1] as the (−) output stage, Stages[2] is
-// ignored, and only positions not touching n2 are legal.
+// extended to support other opamp topologies"; the skeleton depth is
+// len(Stages), anywhere in [MinStageCount, MaxStageCount]: the signal
+// path is in → n1 → … → out with the last stage inverting, so every
+// Miller loop closes as negative feedback. TwoStage is the legacy marker
+// of the two-stage skeleton; when set, len(Stages) must be 2.
 type Topology struct {
 	Name     string
-	TwoStage bool
-	Stages   [3]Stage
+	TwoStage bool `json:",omitempty"`
+	Stages   []Stage
 	Conns    []Connection
 }
 
-// NumStages returns the skeleton depth (2 or 3).
-func (t *Topology) NumStages() int {
-	if t.TwoStage {
-		return 2
-	}
-	return 3
-}
+// NumStages returns the skeleton depth.
+func (t *Topology) NumStages() int { return len(t.Stages) }
 
 // activeStages returns the slice of stages actually instantiated.
-func (t *Topology) activeStages() []Stage {
-	return t.Stages[:t.NumStages()]
-}
+func (t *Topology) activeStages() []Stage { return t.Stages }
 
 // Clone returns a deep copy.
 func (t *Topology) Clone() *Topology {
 	c := *t
+	c.Stages = append([]Stage(nil), t.Stages...)
 	c.Conns = append([]Connection(nil), t.Conns...)
 	return &c
 }
 
-// Validate checks stage parameters and every connection.
-func (t *Topology) Validate() error {
-	for i, s := range t.activeStages() {
-		if s.Gm <= 0 {
-			return fmt.Errorf("topology: stage %d has non-positive gm %g", i+1, s.Gm)
+// legalFor reports whether pos exists in an n-stage skeleton.
+func legalFor(pos Position, n int) bool {
+	for _, p := range legalPositions(n) {
+		if p == pos {
+			return true
 		}
-		if s.A0 <= 1 {
-			return fmt.Errorf("topology: stage %d has implausible A0 %g", i+1, s.A0)
+	}
+	return false
+}
+
+// Validate checks the stage count, stage parameters, and every
+// connection (including that each position exists at this skeleton
+// depth). Every failure wraps ErrInvalid.
+func (t *Topology) Validate() error {
+	n := t.NumStages()
+	if n < MinStageCount || n > MaxStageCount {
+		return invalidf("skeleton needs %d-%d stages, got %d", MinStageCount, MaxStageCount, n)
+	}
+	if t.TwoStage && n != 2 {
+		return invalidf("TwoStage skeleton must have exactly 2 stages, got %d", n)
+	}
+	for i, s := range t.activeStages() {
+		if !(s.Gm > 0) {
+			return invalidf("stage %d has non-positive gm %g", i+1, s.Gm)
+		}
+		if !(s.A0 > 1) {
+			return invalidf("stage %d has implausible A0 %g", i+1, s.A0)
 		}
 	}
 	seen := map[Position]bool{}
@@ -131,11 +160,11 @@ func (t *Topology) Validate() error {
 		if c.Type == ConnNone {
 			continue
 		}
-		if t.TwoStage && (c.Pos.From == "n2" || c.Pos.To == "n2") {
-			return fmt.Errorf("topology: two-stage skeleton has no node n2 (connection at %v)", c.Pos)
+		if !legalFor(c.Pos, n) {
+			return invalidf("%d-stage skeleton has no position %v", n, c.Pos)
 		}
 		if seen[c.Pos] {
-			return fmt.Errorf("topology: duplicate connection at %v", c.Pos)
+			return invalidf("duplicate connection at %v", c.Pos)
 		}
 		seen[c.Pos] = true
 	}
@@ -200,9 +229,10 @@ func (t *Topology) Elaborate(env Env) (*netlist.Netlist, error) {
 	nl := netlist.New(t.Name)
 	nl.AddV("Vin", "in", "0", 1)
 
-	stageNodes := [][2]string{{"in", "n1"}, {"n1", "n2"}, {"n2", "out"}}
-	if t.TwoStage {
-		stageNodes = [][2]string{{"in", "n1"}, {"n1", "out"}}
+	path := skeletonNodes(t.NumStages())
+	stageNodes := make([][2]string, t.NumStages())
+	for i := range stageNodes {
+		stageNodes[i] = [2]string{path[i], path[i+1]}
 	}
 	last := len(stageNodes) - 1
 	for i, s := range t.activeStages() {

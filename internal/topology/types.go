@@ -1,10 +1,12 @@
-// Package topology models the paper's three-stage opamp design space
-// (§2.2, Fig. 1): a fixed cascode skeleton of three transconductance
-// stages, plus tunable connections at a set of legitimate positions, each
-// realised by one of 25 connection types (§3.2.2). A Topology elaborates
-// to a behavioral netlist for the MNA simulator, and the package includes
-// the library of named compensation architectures (NMC, NMCF, DFCFC, …)
-// the design knowledge base reasons about.
+// Package topology models the paper's opamp design space (§2.2, Fig. 1):
+// a cascode skeleton of 2–4 transconductance stages, plus tunable
+// connections at a set of legitimate positions, each realised by one of
+// 25 connection types (§3.2.2). A Topology elaborates to a behavioral
+// netlist for the MNA simulator. The package includes the library of
+// named compensation architectures (NMC, NMCF, DFCFC, …) the design
+// knowledge base reasons about, the Sampler behind the paper's
+// NetlistTuple generator, and the constrained random Generator the
+// generative benchmark harness uses to defeat memorization.
 package topology
 
 import "fmt"
@@ -138,18 +140,76 @@ func (t ConnType) Inverting() bool {
 // ground (DFC blocks).
 func (t ConnType) ShuntOnly() bool { return t == ConnDFCP || t == ConnDFCN }
 
-// SkeletonNodes are the five initial nodes of Fig. 1(a): the input, two
-// internal stage outputs, the opamp output, and ground.
+// Stage-count limits of the skeleton. Two stages is the classic Miller
+// opamp; four is the deepest nesting the compensation literature treats
+// as practical (and the deepest the generative benchmark samples).
+const (
+	MinStageCount = 2
+	MaxStageCount = 4
+)
+
+// SkeletonNodes are the five initial nodes of the three-stage skeleton
+// of Fig. 1(a): the input, two internal stage outputs, the opamp output,
+// and ground. Kept for the fixed three-stage design space; the general
+// form is SkeletonNodesN.
 var SkeletonNodes = []string{"in", "n1", "n2", "out", "0"}
+
+// SkeletonNodesN returns the signal-path nodes of an n-stage skeleton in
+// signal order — in, n1 … n(n-1), out — followed by ground.
+func SkeletonNodesN(n int) []string {
+	if n < MinStageCount || n > MaxStageCount {
+		return buildSkeletonNodes(n)
+	}
+	return append([]string(nil), skeletonNodesTab[n]...)
+}
+
+func buildSkeletonNodes(n int) []string {
+	nodes := []string{"in"}
+	for i := 1; i < n; i++ {
+		nodes = append(nodes, fmt.Sprintf("n%d", i))
+	}
+	return append(nodes, "out", "0")
+}
+
+// Per-depth node and position tables, built once: Validate and Elaborate
+// sit on the simulation hot path (every Monte-Carlo restamp and every
+// generator draw re-validates), so the internal callers read these
+// shared read-only slices instead of rebuilding them per call. The
+// exported SkeletonNodesN/LegalPositionsN return fresh copies callers
+// may mutate (the generator shuffles its copy in place).
+var (
+	skeletonNodesTab [MaxStageCount + 1][]string
+	legalPosTab      [MaxStageCount + 1][]Position
+)
+
+func init() {
+	for n := MinStageCount; n <= MaxStageCount; n++ {
+		skeletonNodesTab[n] = buildSkeletonNodes(n)
+		legalPosTab[n] = buildLegalPositions(n)
+	}
+}
+
+// skeletonNodes returns the shared table entry; callers must not mutate.
+func skeletonNodes(n int) []string { return skeletonNodesTab[n] }
+
+// legalPositions returns the shared table entry; callers must not mutate.
+func legalPositions(n int) []Position {
+	if n < MinStageCount || n > MaxStageCount {
+		return nil
+	}
+	return legalPosTab[n]
+}
 
 // Position is an ordered pair of skeleton nodes a connection spans.
 type Position struct{ From, To string }
 
 func (p Position) String() string { return p.From + ">" + p.To }
 
-// LegalPositions lists the tunable positions of the design space:
-// forward couplings, feedback couplings, and the shunt position at each
-// internal node for DFC blocks.
+// LegalPositions lists the tunable positions of the paper's three-stage
+// design space: forward couplings, feedback couplings, and the shunt
+// position at each internal node for DFC blocks. It equals
+// LegalPositionsN(3) and is kept as the stable entry point of the fixed
+// Table 3 / BOBO / RLBO spaces.
 func LegalPositions() []Position {
 	return []Position{
 		{"in", "n2"}, {"in", "out"},
@@ -157,6 +217,43 @@ func LegalPositions() []Position {
 		{"n2", "n1"}, {"out", "n1"}, {"out", "n2"},
 		{"n1", "0"}, {"n2", "0"}, {"out", "0"},
 	}
+}
+
+// LegalPositionsN generalizes LegalPositions to an n-stage skeleton
+// (n in [MinStageCount, MaxStageCount]): every forward coupling that
+// skips or spans a stage (all ordered signal-path pairs except the input
+// stage's own in→n1 hop), every feedback coupling between non-input
+// nodes, and a ground shunt at each non-input node. For n = 3 the list
+// is exactly LegalPositions(); positions for smaller n are a subset of
+// those for larger n.
+func LegalPositionsN(n int) []Position {
+	if n < MinStageCount || n > MaxStageCount {
+		return nil
+	}
+	return append([]Position(nil), legalPosTab[n]...)
+}
+
+func buildLegalPositions(n int) []Position {
+	nodes := buildSkeletonNodes(n)
+	path := nodes[:len(nodes)-1] // drop ground
+	var out []Position
+	for i := 0; i < len(path); i++ {
+		for j := i + 1; j < len(path); j++ {
+			if i == 0 && j == 1 {
+				continue // in→n1 is the input stage itself
+			}
+			out = append(out, Position{path[i], path[j]})
+		}
+	}
+	for j := 2; j < len(path); j++ {
+		for i := 1; i < j; i++ {
+			out = append(out, Position{path[j], path[i]})
+		}
+	}
+	for i := 1; i < len(path); i++ {
+		out = append(out, Position{path[i], "0"})
+	}
+	return out
 }
 
 // legalAt reports whether a type may occupy a position: shunt-only types

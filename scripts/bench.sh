@@ -106,6 +106,33 @@ sed '$d' "$out" > "$merged"
 printf ',\n' >> "$merged"
 sed '1d' "$btmp" >> "$merged"
 mv "$merged" "$out"
+
+# Generative benchmark: the roster designers over seeded generated
+# topologies (see cmd/evaltable -genbench). Records grounded-pass-rate,
+# rubric score, and credited FoM per designer; the GenBench_* names
+# never match the hot regex.
+gtmp="$(mktemp)"
+trap 'rm -f "$tmp" "$ltmp" "$ftmp" "$btmp" "$gtmp"' EXIT
+go run ./cmd/evaltable -genbench -workers 8 -seed 42 -out "$gtmp"
+merged="$(mktemp)"
+sed '$d' "$out" > "$merged"
+printf ',\n' >> "$merged"
+sed '1d' "$gtmp" >> "$merged"
+mv "$merged" "$out"
+
+# Cache-hostile serving profile: the same generated topologies as unique
+# /simulate/batch bodies, against the duplicate-mix contrast (see
+# cmd/loadgen -profile genbench). The LoadgenGenbenchUnique entry's
+# coalesce_hits records ~0 by construction.
+htmp="$(mktemp)"
+trap 'rm -f "$tmp" "$ltmp" "$ftmp" "$btmp" "$gtmp" "$htmp"' EXIT
+go run ./cmd/loadgen -profile genbench -n 400 -batch 64 -concurrency 8 \
+    -seed 1 -repeat 2 -out "$htmp"
+merged="$(mktemp)"
+sed '$d' "$out" > "$merged"
+printf ',\n' >> "$merged"
+sed '1d' "$htmp" >> "$merged"
+mv "$merged" "$out"
 echo "bench: wrote $out"
 
 if [ -n "$baseline" ]; then

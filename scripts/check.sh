@@ -14,7 +14,8 @@ go test ./...
 go test -race ./internal/jobs ./internal/server ./internal/experiment \
     ./internal/resilience ./internal/agents ./internal/telemetry \
     ./internal/mna ./internal/measure ./internal/sizing ./internal/cluster \
-    ./internal/backend ./internal/gmid ./internal/opt
+    ./internal/backend ./internal/gmid ./internal/opt \
+    ./internal/topology ./internal/bench
 
 # Two-node router smoke: a quick fleet loadgen run proves two worker
 # nodes behind the consistent-hash router serve the full mix end to end
@@ -41,7 +42,8 @@ for target in \
     'FuzzParse ./internal/netlist' \
     'FuzzDeviceLineRoundTrip ./internal/netlist' \
     'FuzzSpecJSON ./internal/spec' \
-    'FuzzJournalReplay ./internal/cluster'; do
+    'FuzzJournalReplay ./internal/cluster' \
+    'FuzzFromJSON ./internal/topology'; do
     set -- $target
     go test -run '^$' -fuzz "^$1\$" -fuzztime 10s "$2"
 done
